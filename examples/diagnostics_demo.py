@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Protocol diagnostics: finding false sharing the way the paper talks
+about it.
+
+Section 2.2: shared arrays are "padded to page boundaries in order to
+reduce false sharing", and the multiple-writer protocol exists to blunt
+what remains.  This demo runs the same computation twice — once with rows
+matching the 4 KB page size (the paper's layouts) and once with four rows
+packed per page — and uses the protocol tracer to show the difference:
+multi-writer pages, extra diff traffic, extra invalidations.
+
+Run:  python examples/diagnostics_demo.py
+"""
+
+import numpy as np
+
+from repro import tmk_run
+from repro.tmk.diagnostics import (false_sharing_report, fault_summary,
+                                   hot_pages)
+
+NPROCS = 4
+ITERS = 6
+
+
+def make_setup(cols):
+    def setup(space):
+        space.alloc("grid", (16, cols), np.float32)
+    return setup
+
+
+def program(tmk):
+    grid = tmk.array("grid")
+    lo, hi = tmk.block_range(16)
+    if tmk.pid == 0:
+        grid.write((slice(0, 1),), 100.0)
+        grid.write((slice(15, 16),), 100.0)
+    tmk.barrier()
+    for it in range(ITERS):
+        rlo, rhi = max(lo, 1), min(hi, 15)
+        src = grid.read((slice(rlo - 1, rhi + 1), slice(None))).copy()
+        grid.write((slice(rlo, rhi), slice(None)),
+                   0.5 * (src[:-2] + src[2:]))
+        tmk.compute(1e-4)
+        tmk.barrier()
+    return True
+
+
+def study(label, cols):
+    print(f"=== {label} (rows of {cols * 4} bytes, page = 4096) ===")
+    result = tmk_run(NPROCS, program, make_setup(cols), trace=True)
+    print(f"time {result.time * 1e3:.2f} ms, {result.messages} messages, "
+          f"{result.dsm_stats.diffs_applied} diffs applied, "
+          f"{result.dsm_stats.invalidations} invalidations")
+    print(false_sharing_report(result.trace))
+    print(hot_pages(result.trace, top=3))
+    print(fault_summary(result.trace))
+    print()
+    return result
+
+
+def main():
+    aligned = study("page-aligned rows (the paper's layout)", 1024)
+    # 320 floats = 1280-byte rows: 3.2 rows per page, so partition
+    # boundaries fall mid-page and neighbours write the same pages
+    packed = study("packed rows (3.2 rows per page)", 320)
+    extra = packed.messages - aligned.messages
+    print(f"the packed layout cost {extra} extra messages "
+          f"({extra / aligned.messages:.0%} more) — the false sharing the "
+          f"SPF compiler's\npage padding avoids, and the multiple-writer "
+          f"protocol has to merge.")
+
+
+if __name__ == "__main__":
+    main()

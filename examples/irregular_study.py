@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The paper's headline experiment, in miniature: irregular access.
+
+Runs IGrid (the 9-point stencil through a run-time indirection map) in all
+four variants and shows *why* software DSM is a good compiler target for
+irregular codes: the XHPF-style compiler cannot analyze the indirection,
+so it broadcasts every processor's whole partition each step, while
+TreadMarks fetches on demand exactly the pages that are touched — and
+caches them.
+
+Run:  python examples/irregular_study.py        (~1 minute, simulated SP/2)
+"""
+
+from repro.eval.constants import PAPER
+from repro.eval.experiments import run_all_variants
+
+APP = "igrid"
+NPROCS = 8
+PRESET = "bench"     # the paper's 500x500 grid, fewer iterations
+
+
+def main():
+    print(f"IGrid ({PAPER[APP].problem_size}) on {NPROCS} simulated "
+          f"processors\n")
+    results = run_all_variants(APP, nprocs=NPROCS, preset=PRESET)
+
+    print(f"{'variant':28s} {'speedup':>8s} {'msgs':>8s} {'data KB':>10s}")
+    labels = {
+        "spf": "SPF -> TreadMarks",
+        "tmk": "hand-coded TreadMarks",
+        "xhpf": "XHPF message passing",
+        "pvme": "hand-coded PVMe",
+    }
+    for variant in ("spf", "tmk", "xhpf", "pvme"):
+        r = results[variant]
+        paper_s = PAPER[APP].speedups.get(variant)
+        note = f"(paper {paper_s})" if paper_s else ""
+        print(f"{labels[variant]:28s} {r.speedup:8.2f} {r.messages:8d} "
+              f"{r.kilobytes:10.0f}  {note}")
+
+    xhpf, tmk, spf = results["xhpf"], results["tmk"], results["spf"]
+    print(f"\nXHPF moved {xhpf.kilobytes / tmk.kilobytes:.0f}x the data of "
+          f"hand-coded TreadMarks")
+    print(f"(the paper's Table 3: 140,001 KB vs 131 KB — about 1000x)")
+    print(f"compiled DSM vs compiled message passing: "
+          f"{spf.speedup / xhpf.speedup:.2f}x faster")
+    print("\nThe DSM wins because the paper's reasoning holds: 'The shared "
+          "memory versions fetch data\non-demand, and the run-time system "
+          "automatically caches previously accessed shared data.'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — Software DSM as a target for parallelizing compilers.
+
+A from-scratch reproduction of Cox, Dwarkadas, Lu & Zwaenepoel,
+"Evaluating the Performance of Software Distributed Shared Memory as a
+Target for Parallelizing Compilers" (IPPS 1997).
+
+The package provides:
+
+* :mod:`repro.sim` — a deterministic discrete-event simulated cluster
+  (the stand-in for the paper's 8-node IBM SP/2),
+* :mod:`repro.msg` — MPL/PVMe-style message passing (point-to-point +
+  collectives),
+* :mod:`repro.tmk` — a TreadMarks-style software DSM (lazy invalidate
+  release consistency, multiple-writer diffs, barriers, locks, the
+  Section 2.3 fork-join interface, and the enhanced interface used by the
+  paper's hand optimizations),
+* :mod:`repro.compiler` — the SPF (shared-memory) and XHPF (message-
+  passing) parallelizing-compiler analogs over a shared loop-nest IR,
+* :mod:`repro.apps` — the six applications (Jacobi, Shallow, MGS, 3-D
+  FFT, IGrid, NBF), each in four variants,
+* :mod:`repro.eval` — the harness regenerating every table and figure.
+
+Quick start::
+
+    from repro import run_variant
+    print(run_variant("jacobi", "tmk", nprocs=8, preset="bench").row())
+"""
+
+from repro.eval.experiments import run_all_variants, run_variant
+from repro.sim import Cluster, MachineModel, SP2_MODEL
+from repro.tmk import Tmk, tmk_run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_variant",
+    "run_all_variants",
+    "Cluster",
+    "MachineModel",
+    "SP2_MODEL",
+    "Tmk",
+    "tmk_run",
+    "__version__",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run APP VARIANT``      run one application variant and print its metrics
+``compare APP``          run all four variants of one application
+``figures``              regenerate the paper's figures/tables (bench sizes)
+``explain APP``          print both compilers' compilation reports
+``list``                 list applications, variants and presets
+
+Examples::
+
+    python -m repro run igrid spf -n 8 --preset bench
+    python -m repro compare jacobi --preset test
+    python -m repro explain mgs
+    python -m repro figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.common import APP_REGISTRY, get_app
+from repro.eval.constants import APPS, IRREGULAR_APPS, PAPER, REGULAR_APPS
+from repro.eval.experiments import VARIANTS, run_all_variants, run_variant
+from repro.eval.tables import format_speedup_figure, format_traffic_table
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", "--nprocs", type=int, default=8,
+                        help="simulated processors (default 8, the paper's)")
+    parser.add_argument("--preset", default="bench",
+                        choices=["paper", "bench", "test"],
+                        help="problem size preset (default bench)")
+
+
+def cmd_run(args) -> int:
+    res = run_variant(args.app, args.variant, nprocs=args.nprocs,
+                      preset=args.preset)
+    print(res.row())
+    if res.dsm is not None:
+        print("dsm:", res.dsm.summary())
+    paper = PAPER.get(args.app)
+    if paper and args.variant in paper.speedups \
+            and paper.speedups[args.variant]:
+        print(f"paper's 8-processor speedup for this variant: "
+              f"{paper.speedups[args.variant]}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    results = run_all_variants(args.app, nprocs=args.nprocs,
+                               preset=args.preset)
+    print(f"{args.app} ({PAPER[args.app].problem_size}), "
+          f"{args.nprocs} simulated processors, preset {args.preset!r}\n")
+    for variant in ("seq", "spf", "tmk", "xhpf", "pvme"):
+        print(results[variant].row())
+    return 0
+
+
+def cmd_figures(args) -> int:
+    regular = {app: run_all_variants(app, nprocs=args.nprocs,
+                                     preset=args.preset)
+               for app in REGULAR_APPS}
+    print(format_speedup_figure(
+        regular, REGULAR_APPS,
+        "Figure 1 — 8-Processor Speedups, Regular Applications"))
+    print()
+    print(format_traffic_table(regular, REGULAR_APPS,
+                               "Table 2 — Messages and Data (KB)"))
+    print()
+    irregular = {app: run_all_variants(app, nprocs=args.nprocs,
+                                       preset=args.preset)
+                 for app in IRREGULAR_APPS}
+    print(format_speedup_figure(
+        irregular, IRREGULAR_APPS,
+        "Figure 2 — 8-Processor Speedups, Irregular Applications"))
+    print()
+    print(format_traffic_table(irregular, IRREGULAR_APPS,
+                               "Table 3 — Messages and Data (KB)"))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.compiler.report import spf_report, xhpf_report
+    from repro.compiler.spf import SpfOptions
+
+    spec = get_app(args.app)
+    program = spec.build_program(spec.params(args.preset))
+    options = SpfOptions()
+    if args.optimized:
+        if spec.spf_opt_options is None:
+            print(f"note: the paper applies no hand optimization to "
+                  f"{args.app}; showing the baseline", file=sys.stderr)
+        else:
+            options = spec.spf_opt_options()
+    print(spf_report(program, nprocs=args.nprocs, options=options))
+    print()
+    print(xhpf_report(spec.build_program(spec.params(args.preset)),
+                      nprocs=args.nprocs))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.eval.report import assemble_report
+    print(assemble_report(args.results_dir))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("applications:")
+    for app in APPS:
+        spec = APP_REGISTRY[app]
+        kind = "regular" if spec.regular else "irregular"
+        print(f"  {app:8s} {kind:10s} {PAPER[app].problem_size:35s} "
+              f"presets: {', '.join(sorted(spec.presets))}")
+    print(f"variants: {', '.join(VARIANTS)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Cox et al. (IPPS 1997): software DSM "
+                    "as a target for parallelizing compilers")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one application variant")
+    p.add_argument("app", choices=APPS)
+    p.add_argument("variant", choices=[v for v in VARIANTS if v != "seq"]
+                   + ["seq"])
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="run all variants of an application")
+    p.add_argument("app", choices=APPS)
+    _add_common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    _add_common(p)
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("explain", help="print the compilers' decisions")
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--optimized", action="store_true",
+                   help="show the hand-optimized SPF configuration")
+    _add_common(p)
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("list", help="list applications and variants")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("report",
+                       help="assemble archived benchmark results")
+    p.add_argument("--results-dir", default=None,
+                   help="directory of archived results "
+                        "(default: benchmarks/results)")
+    p.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Region algebra and dependence analysis over the IR.
+
+This is the compile-time reasoning both backends rely on:
+
+* *footprints* — the concrete index rectangles a chunk of a parallel loop
+  touches, from the declared affine region expressions;
+* *irregularity detection* — any :class:`~repro.compiler.ir.Irregular`
+  access makes a loop's communication pattern unknowable at compile time,
+  which sends SPF down the on-demand path and XHPF down the
+  broadcast-everything path;
+* *cross-processor dependence tests* — whether two adjacent parallel loops
+  can be fused (equivalently: the barrier between them eliminated, Tseng
+  [17]) because no processor's writes in the first are touched by a
+  *different* processor in the second.
+
+Rectangles are per-dimension half-open intervals.  Cyclic chunks are
+over-approximated by their bounding interval, which can only make the
+dependence tests conservative (safe).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.ir import (Access, ArrayDecl, Full, ParallelLoop, Point,
+                               Program, SeqBlock, Span)
+from repro.compiler.partition import block_range
+
+__all__ = ["access_rect", "rects_overlap", "chunk_rects",
+           "loop_is_irregular", "loops_fusable", "stmt_footprints"]
+
+Rect = tuple  # tuple of (lo, hi) per dimension
+
+
+def access_rect(acc: Access, lo: int, hi: int, shape: tuple) -> Optional[Rect]:
+    """Bounding rectangle of an affine access for chunk [lo, hi).
+
+    Returns ``None`` for irregular accesses (unknown footprint).
+    """
+    if acc.irregular:
+        return None
+    idx = acc.resolve(lo, hi, shape)
+    rect = []
+    for comp, extent in zip(idx, shape):
+        if isinstance(comp, slice):
+            rect.append((comp.start, comp.stop))
+        else:
+            rect.append((comp, comp + 1))
+    return tuple(rect)
+
+
+def rects_overlap(a: Rect, b: Rect) -> bool:
+    """Do two rectangles share any element?  Empty dims never overlap."""
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        if ahi <= alo or bhi <= blo:
+            return False
+        if ahi <= blo or bhi <= alo:
+            return False
+    return True
+
+
+def chunk_rects(loop: ParallelLoop, which: str, pid: int, nprocs: int,
+                program: Program) -> Optional[dict]:
+    """``{array: [rects]}`` touched by processor ``pid``'s chunk.
+
+    ``which`` is "reads" or "writes".  Returns ``None`` if any access is
+    irregular.  Cyclic chunks use the bounding interval of the owned
+    indices.
+    """
+    accesses = getattr(loop, which)
+    out: dict = {}
+    if loop.schedule == "cyclic":
+        span = loop.extent - loop.start
+        if span <= 0:
+            return out
+        # bounding interval of indices {start+pid, start+pid+n, ...}
+        first = loop.start + ((pid - loop.start) % nprocs)
+        if first >= loop.extent:
+            return out
+        last = loop.extent - 1 - ((loop.extent - 1 - first) % nprocs)
+        lo, hi = first, last + 1
+    else:
+        lo, hi = block_range(loop.extent - loop.start, nprocs, pid)
+        lo += loop.start
+        hi += loop.start
+        if hi <= lo:
+            return out
+    for acc in accesses:
+        if acc.irregular:
+            return None
+        shape = program.decl(acc.array).shape
+        rect = access_rect(acc, lo, hi, shape)
+        out.setdefault(acc.array, []).append(rect)
+    return out
+
+
+def loop_is_irregular(loop: ParallelLoop) -> bool:
+    return loop.irregular
+
+
+def stmt_footprints(stmt, program: Program) -> Optional[dict]:
+    """Whole-statement footprint ``{array: [rects]}`` (reads ∪ writes);
+    ``None`` when irregular."""
+    out: dict = {}
+    accesses = list(stmt.reads) + list(stmt.writes)
+    if isinstance(stmt, SeqBlock):
+        for acc in accesses:
+            if acc.irregular:
+                return None
+            shape = program.decl(acc.array).shape
+            out.setdefault(acc.array, []).append(
+                access_rect(acc, 0, 0, shape))
+        return out
+    for acc in accesses:
+        if acc.irregular:
+            return None
+        shape = program.decl(acc.array).shape
+        out.setdefault(acc.array, []).append(
+            access_rect(acc, stmt.start, stmt.extent, shape))
+    return out
+
+
+def _cross_conflict(a_rects: Optional[dict], b_rects: Optional[dict]) -> bool:
+    if a_rects is None or b_rects is None:
+        return True  # unknown footprints: assume conflict
+    for array, rects_a in a_rects.items():
+        rects_b = b_rects.get(array)
+        if not rects_b:
+            continue
+        for ra in rects_a:
+            for rb in rects_b:
+                if rects_overlap(ra, rb):
+                    return True
+    return False
+
+
+def loops_fusable(a: ParallelLoop, b: ParallelLoop, nprocs: int,
+                  program: Program) -> bool:
+    """May the synchronization between adjacent loops ``a`` then ``b`` be
+    removed (each processor runs its chunk of ``b`` right after its chunk
+    of ``a``)?
+
+    Required: for every pair of *distinct* processors p != q there is no
+    flow (writes_a(p) ∩ reads_b(q)), anti (reads_a(p) ∩ writes_b(q)), or
+    output (writes_a(p) ∩ writes_b(q)) dependence.  Reductions and
+    accumulation buffers force a synchronization, as does irregularity.
+    """
+    if a.irregular or b.irregular:
+        return False
+    if a.reductions or a.accumulate:
+        return False
+    for p in range(nprocs):
+        wa = chunk_rects(a, "writes", p, nprocs, program)
+        ra = chunk_rects(a, "reads", p, nprocs, program)
+        for q in range(nprocs):
+            if p == q:
+                continue
+            wb = chunk_rects(b, "writes", q, nprocs, program)
+            rb = chunk_rects(b, "reads", q, nprocs, program)
+            if (_cross_conflict(wa, rb) or _cross_conflict(wa, wb)
+                    or _cross_conflict(ra, wb)):
+                return False
+    return True

@@ -1,0 +1,50 @@
+"""Iteration and data partitioning: BLOCK and CYCLIC distributions.
+
+SPF "uses a simple block or cyclic loop distribution mechanism"; XHPF takes
+HPF data-distribution directives and derives loop distributions satisfying
+the owner-computes rule.  Both needs reduce to the helpers here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_range", "block_owner", "cyclic_indices", "cyclic_owner",
+           "chunk_of"]
+
+
+def block_range(extent: int, nprocs: int, pid: int) -> tuple:
+    """[lo, hi) of a BLOCK distribution (remainder spread over low pids)."""
+    base, rem = divmod(extent, nprocs)
+    lo = pid * base + min(pid, rem)
+    hi = lo + base + (1 if pid < rem else 0)
+    return lo, hi
+
+
+def block_owner(extent: int, nprocs: int, index: int) -> int:
+    """Owner pid of ``index`` under BLOCK distribution."""
+    base, rem = divmod(extent, nprocs)
+    cut = rem * (base + 1)
+    if index < cut:
+        return index // (base + 1)
+    return rem + (index - cut) // base if base else nprocs - 1
+
+
+def cyclic_indices(extent: int, nprocs: int, pid: int,
+                   start: int = 0) -> np.ndarray:
+    """Indices owned by ``pid`` under CYCLIC distribution over [start, extent)."""
+    first = start + ((pid - start) % nprocs)
+    return np.arange(first, extent, nprocs, dtype=np.int64)
+
+
+def cyclic_owner(index: int, nprocs: int) -> int:
+    return index % nprocs
+
+
+def chunk_of(schedule: str, extent: int, nprocs: int, pid: int):
+    """A loop chunk: (lo, hi) for block, an index array for cyclic."""
+    if schedule == "block":
+        return block_range(extent, nprocs, pid)
+    if schedule == "cyclic":
+        return cyclic_indices(extent, nprocs, pid)
+    raise ValueError(f"unknown schedule {schedule!r}")

@@ -1,0 +1,130 @@
+"""Compilation reports: what each backend decided and why.
+
+A parallelizing compiler's output is only trustworthy if its decisions are
+inspectable.  :func:`spf_report` and :func:`xhpf_report` render what the
+backends will do with a program — dispatch units and fusion groups, chunk
+footprints, reduction strategies, halo-push plans, owner-computes
+assignments and irregular fallbacks — without running anything.
+
+    from repro.compiler.report import spf_report
+    print(spf_report(program, nprocs=8, options=SpfOptions(fuse_loops=True)))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler import analysis
+from repro.compiler.ir import ParallelLoop, Program, SeqBlock
+from repro.compiler.spf import SpfExecutable, SpfOptions, compile_spf
+from repro.compiler.xhpf import XhpfExecutable, XhpfOptions, compile_xhpf
+
+__all__ = ["spf_report", "xhpf_report", "footprint_report"]
+
+
+def _rect_str(rects: Optional[dict]) -> str:
+    if rects is None:
+        return "irregular (run-time footprint)"
+    parts = []
+    for array, rlist in sorted(rects.items()):
+        spans = ",".join(
+            "[" + " ".join(f"{lo}:{hi}" for lo, hi in rect) + "]"
+            for rect in rlist)
+        parts.append(f"{array}{spans}")
+    return " ".join(parts) if parts else "-"
+
+
+def footprint_report(loop: ParallelLoop, nprocs: int,
+                     program: Program) -> str:
+    """Per-processor read/write rectangles of one loop."""
+    lines = [f"loop {loop.name}: extent [{loop.start}, {loop.extent}), "
+             f"{loop.schedule} schedule"]
+    for pid in range(nprocs):
+        reads = analysis.chunk_rects(loop, "reads", pid, nprocs, program)
+        writes = analysis.chunk_rects(loop, "writes", pid, nprocs, program)
+        lines.append(f"  p{pid}: reads {_rect_str(reads)}  "
+                     f"writes {_rect_str(writes)}")
+    return "\n".join(lines)
+
+
+def spf_report(program: Program, nprocs: int = 8,
+               options: Optional[SpfOptions] = None) -> str:
+    """Everything the SPF backend decided for ``program``."""
+    exe = compile_spf(program, nprocs, options)
+    opt = exe.options
+    lines = [f"SPF compilation report — {program.name!r}, {nprocs} "
+             f"processors, options: {opt.describe()}",
+             f"shared allocation: "
+             + ", ".join(f"{d.name}{d.shape}" for d in program.arrays)
+             + " (all page-padded)"]
+    if exe.reductions:
+        strategy = ("combining tree (2(n-1) msgs)" if opt.tree_reductions
+                    else "lock-protected shared scalar")
+        lines.append("reductions: "
+                     + ", ".join(exe.reductions) + f" via {strategy}")
+    lines.append(f"dispatch units: {len(exe.units)} "
+                 f"({sum(1 for u in exe.units if u.seq)} sequential blocks "
+                 f"on the master, "
+                 f"{sum(1 for u in exe.units if u.loops)} fork-joins)")
+    shown = 0
+    for idx, unit in enumerate(exe.units):
+        if shown >= 12:
+            lines.append(f"  ... ({len(exe.units) - idx} more units)")
+            break
+        shown += 1
+        if unit.mark:
+            lines.append(f"  unit {idx}: measurement mark {unit.mark!r}")
+        elif unit.seq:
+            lines.append(f"  unit {idx}: sequential {unit.seq.name!r} "
+                         f"(master only)")
+        else:
+            names = " + ".join(l.name for l in unit.loops)
+            fused = " [fused]" if len(unit.loops) > 1 else ""
+            irr = " [irregular: on-demand element faults]" \
+                if any(l.irregular for l in unit.loops) else ""
+            lines.append(f"  unit {idx}: parallel {names}{fused}{irr}")
+    if exe.push_plan:
+        lines.append("halo-push plan:")
+        for j, entries in sorted(exe.push_plan.items()):
+            for array, lo_off, hi_off, _e, _s in entries:
+                lines.append(f"  after unit {j}: push {array} boundary "
+                             f"rows (halo {lo_off:+d}/{hi_off:+d}) to "
+                             f"neighbours")
+    elif opt.push_halos:
+        lines.append("halo-push plan: no eligible producer/consumer pairs")
+    return "\n".join(lines)
+
+
+def xhpf_report(program: Program, nprocs: int = 8,
+                options: Optional[XhpfOptions] = None) -> str:
+    """Everything the XHPF backend decided for ``program``."""
+    exe = compile_xhpf(program, nprocs, options)
+    lines = [f"XHPF compilation report — {program.name!r}, {nprocs} "
+             f"processors"]
+    for decl in program.arrays:
+        dist = (f"distributed {decl.dist_kind.upper()} on dim "
+                f"{decl.distribute}" if decl.distribute is not None
+                else "replicated")
+        lines.append(f"  array {decl.name}{decl.shape}: {dist}")
+    for stmt in exe.schedule:
+        if isinstance(stmt, SeqBlock):
+            lines.append(f"  seq {stmt.name!r}: replicated SPMD execution"
+                         + ("" if not stmt.reads else
+                            "; owners broadcast read regions"))
+        elif isinstance(stmt, ParallelLoop):
+            if stmt.irregular:
+                lines.append(
+                    f"  loop {stmt.name!r}: IRREGULAR — communication "
+                    f"pattern unknown at compile time; every processor "
+                    f"broadcasts its whole partition of the written "
+                    f"arrays at loop end"
+                    + (f"; accumulation buffers {stmt.accumulate} "
+                       f"broadcast-summed" if stmt.accumulate else ""))
+            else:
+                lines.append(f"  loop {stmt.name!r}: owner-computes "
+                             f"(align {stmt.align}), exact pairwise "
+                             f"exchange of non-owned footprint")
+        if len(lines) > 24:
+            lines.append("  ...")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,580 @@
+"""The SPF analog: shared-memory code generation onto TreadMarks.
+
+Reproduces the Forge SPF policies of Section 2.1:
+
+* every array accessed in a parallel loop is allocated in shared memory,
+  padded to page boundaries (including scratch arrays — the paper's Jacobi
+  loses 2% exactly because of this),
+* fork-join execution: the master runs all sequential code; each parallel
+  loop (or fused group, see below) is dispatched to workers through the
+  Section 2.3 interface — improved (2(n-1) messages) by default, original
+  (8(n-1)) for the ablation,
+* block or cyclic loop scheduling,
+* scalar reductions through a private partial plus a lock-protected shared
+  variable.
+
+:class:`SpfOptions` exposes the paper's hand optimizations as compiler
+flags, so the "Results of Hand Optimizations" experiments are one option
+away from the baseline:
+
+* ``aggregate`` — fetch each chunk footprint with the enhanced interface's
+  aggregated validate instead of page-by-page faults (Jacobi 6.99→7.23,
+  FFT 2.65→5.05),
+* ``fuse_loops`` — merge adjacent parallel loops when the dependence test
+  of :mod:`repro.compiler.analysis` allows, eliminating the redundant
+  barrier pairs (Tseng [17]; Shallow 5.71→5.96 together with aggregation),
+* ``piggyback`` — an application hint that attaches freshly-written data to
+  the fork message, merging synchronization and data (MGS's ith-vector
+  broadcast, 3.35→~5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler import analysis
+from repro.compiler.ir import Mark, ParallelLoop, Program, SeqBlock
+from repro.compiler.partition import block_range, cyclic_indices
+from repro.sim.cluster import RunResult
+from repro.sim.machine import MachineModel
+from repro.tmk import enhanced
+from repro.tmk.api import Tmk, tmk_run
+from repro.tmk.forkjoin import (ImprovedForkJoin, OldForkJoin,
+                                alloc_old_interface_control)
+from repro.tmk.pagespace import SharedSpace
+
+__all__ = ["SpfOptions", "SpfExecutable", "compile_spf", "run_spf"]
+
+REDUCTION_PREFIX = "__red_"
+STAGING_PREFIX = "__acc_"
+
+
+@dataclass
+class SpfOptions:
+    """Code-generation switches.
+
+    Defaults are the unoptimized compiler of the paper's evaluation.
+    ``aggregate``/``fuse_loops``/``piggyback`` are the paper's hand
+    optimizations (Sections 5 and 8); ``tree_reductions``,
+    ``balance_loops`` and ``push_halos`` implement the enhancements
+    Section 8 proposes as future work:
+
+    * ``tree_reductions`` — replace the lock-protected shared scalar with
+      the dedicated combining-tree primitive (:mod:`repro.tmk.reduction`),
+    * ``balance_loops`` — weighted block scheduling: when a loop declares a
+      per-iteration cost function, chunk boundaries equalize cumulative
+      cost instead of iteration counts ("dynamic load balancing support"),
+    * ``push_halos`` — producers push partition-boundary regions to the
+      neighbours that will read them, at the join, instead of the default
+      request-response ("pushing data instead of pulling").
+    """
+
+    improved_interface: bool = True
+    aggregate: bool = False
+    fuse_loops: bool = False
+    piggyback: Optional[Callable] = None   # (stmt) -> [(array, region)] | None
+    tree_reductions: bool = False
+    balance_loops: bool = False
+    push_halos: bool = False
+
+    def describe(self) -> str:
+        bits = ["improved" if self.improved_interface else "original"]
+        for flag, label in [(self.aggregate, "aggregate"),
+                            (self.fuse_loops, "fuse"),
+                            (self.piggyback, "piggyback"),
+                            (self.tree_reductions, "tree-red"),
+                            (self.balance_loops, "balance"),
+                            (self.push_halos, "push")]:
+            if flag:
+                bits.append(label)
+        return "+".join(bits)
+
+
+@dataclass
+class _Unit:
+    """One fork-join dispatch: a master-only block, loop group, or mark."""
+
+    seq: Optional[SeqBlock] = None
+    loops: list = field(default_factory=list)
+    mark: Optional[str] = None
+
+
+def _ensure_order(accesses, accumulate) -> list:
+    """Affine accesses first, then irregular ones.
+
+    Irregular footprints are evaluated *at run time* against the local
+    views (e.g. IGrid's footprint reads the shared indirection map), so the
+    affine data they depend on must be faulted in first.  Accesses to
+    accumulation buffers are redirected to private memory and need no
+    coherence."""
+    kept = [acc for acc in accesses if acc.array not in accumulate]
+    return ([acc for acc in kept if not acc.irregular]
+            + [acc for acc in kept if acc.irregular])
+
+
+class SpfExecutable:
+    """A compiled shared-memory program, runnable on a simulated cluster."""
+
+    def __init__(self, program: Program, options: SpfOptions, nprocs: int):
+        program.validate()
+        self.program = program
+        self.options = options
+        self.nprocs = nprocs
+        self.schedule = list(program.flat_statements())
+        self.units = self._plan_units()
+        self.reductions = self._collect_reductions()
+        self.push_plan, self.expect_plan = (
+            self._plan_halo_pushes() if options.push_halos else ({}, {}))
+
+    # ------------------------------------------------------------------ #
+    # compilation
+
+    def _plan_units(self) -> list:
+        """Group the schedule into dispatch units (fusing when enabled).
+
+        A loop with accumulation buffers is followed by a synthetic *merge*
+        loop: the buffer-per-processor + add-after-the-loop structure the
+        paper describes for NBF ("Each processor accumulates the force
+        updates in a local buffer, and adds the buffers together after the
+        force computation loop").
+        """
+        units: list[_Unit] = []
+        for stmt in self.schedule:
+            if isinstance(stmt, Mark):
+                units.append(_Unit(mark=stmt.label))
+                continue
+            if isinstance(stmt, SeqBlock):
+                units.append(_Unit(seq=stmt))
+                continue
+            if (self.options.fuse_loops and units and units[-1].loops
+                    and not stmt.accumulate
+                    and analysis.loops_fusable(units[-1].loops[-1], stmt,
+                                               self.nprocs, self.program)):
+                units[-1].loops.append(stmt)
+            else:
+                units.append(_Unit(loops=[stmt]))
+            for name in stmt.accumulate:
+                units.append(_Unit(loops=[self._merge_loop(stmt, name)]))
+        return units
+
+    def _merge_loop(self, loop: ParallelLoop, name: str) -> ParallelLoop:
+        """forces[own rows] = sum over processors of staging[p][own rows]."""
+        from repro.compiler.ir import Access, Full, Span
+        decl = self.program.decl(name)
+        staging = STAGING_PREFIX + name
+
+        def kernel(views, lo, hi):
+            views[name][lo:hi] = views[staging][:, lo:hi].sum(axis=0)
+            return None
+
+        return ParallelLoop(
+            name=f"{loop.name}.merge[{name}]",
+            extent=decl.shape[0],
+            kernel=kernel,
+            reads=[Access(staging, (Full(), Span()))],
+            writes=[Access(name, (Span(),))],
+            cost_per_iter=getattr(loop, "merge_cost_per_iter", 0.0) or 0.0,
+        )
+
+    def _plan_halo_pushes(self):
+        """Compile-time producer->consumer halo analysis (§8: push data).
+
+        For each loop that reads an array with a ``Span`` halo, find the
+        most recent earlier loop that writes that array chunk-aligned; the
+        producers then push their boundary rows to the neighbours that will
+        read them, at the end of their chunk.  Returns
+
+        * ``push_plan[unit_idx] -> [(array, lo_off, hi_off, extent, start)]``
+        * ``expect_plan[unit_idx] -> per-pid expected push count`` (callable)
+        """
+        from repro.compiler.ir import Span
+
+        def block_writer_of(array, before_idx):
+            for j in range(before_idx - 1, -1, -1):
+                unit = self.units[j]
+                for loop in unit.loops:
+                    if loop.schedule != "block":
+                        continue
+                    for acc in loop.writes:
+                        if acc.array != array or acc.irregular:
+                            continue
+                        lead = acc.region[0] if acc.region else None
+                        if isinstance(lead, Span) and lead.lo_off == 0 \
+                                and lead.hi_off == 0:
+                            return j, loop
+            return None, None
+
+        push_plan: dict = {}
+        expect_plan: dict = {}
+        for i, unit in enumerate(self.units):
+            for loop in unit.loops:
+                if loop.schedule != "block":
+                    continue
+                for acc in loop.reads:
+                    if acc.irregular or not acc.region:
+                        continue
+                    lead = acc.region[0]
+                    if not (isinstance(lead, Span)
+                            and (lead.lo_off < 0 or lead.hi_off > 0)):
+                        continue
+                    j, producer = block_writer_of(acc.array, i)
+                    if producer is None:
+                        continue
+                    if (producer.extent, producer.start) != (loop.extent,
+                                                             loop.start):
+                        continue
+                    push_plan.setdefault(j, []).append(
+                        (acc.array, lead.lo_off, lead.hi_off,
+                         loop.extent, loop.start))
+                    expect_plan.setdefault(i, []).append(
+                        (lead.lo_off, lead.hi_off))
+        return push_plan, expect_plan
+
+    def _expected_pushes(self, unit_idx: int, pid: int) -> int:
+        count = 0
+        for lo_off, hi_off in self.expect_plan.get(unit_idx, ()):
+            if lo_off < 0 and pid > 0:
+                count += 1          # the upper neighbour pushes down
+            if hi_off > 0 and pid < self.nprocs - 1:
+                count += 1          # the lower neighbour pushes up
+        return count
+
+    def _do_halo_pushes(self, tmk: Tmk, unit_idx: int) -> None:
+        from repro.tmk.enhanced import push_regions
+        for array, lo_off, hi_off, extent, start in self.push_plan.get(
+                unit_idx, ()):
+            span = extent - start
+            lo, hi = block_range(span, self.nprocs, tmk.pid)
+            lo += start
+            hi += start
+            if hi <= lo:
+                continue
+            handle = tmk.world.space[array]
+            if lo_off < 0 and tmk.pid < self.nprocs - 1:
+                # our bottom rows are the lower neighbour's upper halo
+                push_regions(tmk.node,
+                             [(handle, (slice(hi + lo_off, hi),))],
+                             dests=[tmk.pid + 1])
+            if hi_off > 0 and tmk.pid > 0:
+                push_regions(tmk.node,
+                             [(handle, (slice(lo, lo + hi_off),))],
+                             dests=[tmk.pid - 1])
+
+    def _collect_reductions(self) -> dict:
+        """name -> (Reduction, lock id); stable ids across the program."""
+        out: dict = {}
+        for loop in self.schedule:
+            if isinstance(loop, ParallelLoop):
+                for red in loop.reductions:
+                    if red.name not in out:
+                        out[red.name] = (red, len(out))
+        return out
+
+    def setup_space(self, space: SharedSpace) -> None:
+        """SPF's allocation policy: everything shared, page padded."""
+        for decl in self.program.arrays:
+            space.alloc(decl.name, decl.shape, decl.dtype, pad_to_page=True)
+        if not self.options.tree_reductions:
+            for name in self.reductions:
+                space.alloc(REDUCTION_PREFIX + name, (1,), np.float64)
+        staged = set()
+        for loop in self.schedule:
+            if isinstance(loop, ParallelLoop):
+                for name in loop.accumulate:
+                    if name not in staged:
+                        staged.add(name)
+                        decl = self.program.decl(name)
+                        space.alloc(STAGING_PREFIX + name,
+                                    (self.nprocs,) + decl.shape, decl.dtype)
+        if not self.options.improved_interface:
+            alloc_old_interface_control(space)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def run_on(self, tmk: Tmk) -> dict:
+        views = {handle.name: tmk.array(handle.name).raw()
+                 for handle in tmk.world.space.handles()}
+        fj = (ImprovedForkJoin(tmk.node) if self.options.improved_interface
+              else OldForkJoin(tmk.node))
+        if tmk.pid == 0:
+            return self._run_master(tmk, fj, views)
+        self._run_worker(tmk, fj, views)
+        return {}
+
+    def _run_master(self, tmk: Tmk, fj, views: dict) -> dict:
+        from repro.tmk.enhanced import expect_pushes
+        tmk._spf_scalars = {}
+        for idx, unit in enumerate(self.units):
+            if unit.mark is not None:
+                tmk.env.mark(unit.mark)
+                continue
+            if unit.seq is not None:
+                self._run_seq(tmk, unit.seq, views)
+                continue
+            if not self.options.tree_reductions:
+                # each loop instance's reduction restarts from the identity
+                for loop in unit.loops:
+                    for red in loop.reductions:
+                        shared = tmk.array(REDUCTION_PREFIX + red.name)
+                        shared.write((slice(0, 1),), red.identity)
+            payload = self._build_piggyback(tmk, unit)
+            # the loop control variables of Section 2.3: subroutine index
+            # plus the loop bounds (workers recompute their chunk from them)
+            head = unit.loops[0]
+            fj.fork(idx, (float(head.start), float(head.extent)),
+                    payload=payload)
+            expected = self._expected_pushes(idx, tmk.pid)
+            if expected:
+                expect_pushes(tmk.node, expected)
+            for loop in unit.loops:
+                self._run_chunk(tmk, loop, views)
+            self._do_halo_pushes(tmk, idx)
+            fj.join()
+        fj.shutdown()
+        return self._read_scalars(tmk)
+
+    def _run_worker(self, tmk: Tmk, fj, views: dict) -> None:
+        from repro.tmk.enhanced import expect_pushes
+        while True:
+            work = fj.wait_for_work()
+            if work is None:
+                return
+            idx = int(work[0])
+            expected = self._expected_pushes(idx, tmk.pid)
+            if expected:
+                expect_pushes(tmk.node, expected)
+            for loop in self.units[idx].loops:
+                self._run_chunk(tmk, loop, views)
+            self._do_halo_pushes(tmk, idx)
+            fj.work_done()
+
+    def _build_piggyback(self, tmk: Tmk, unit: _Unit):
+        hook = self.options.piggyback
+        if hook is None or not unit.loops:
+            return None
+        regions = hook(unit.loops[0])
+        if not regions:
+            return None
+        pairs = [(tmk.world.space[name], region) for name, region in regions]
+        # sync+data merging sends the *current page images* (the master
+        # just wrote or faulted them), exactly the broadcast the paper
+        # added to TreadMarks for MGS's ith vector
+        return enhanced.BcastPayload.build(tmk.node, pairs)
+
+    # ---- sequential code (master only) ----------------------------------
+
+    def _run_seq(self, tmk: Tmk, stmt: SeqBlock, views: dict) -> None:
+        for acc in stmt.reads:
+            self._ensure(tmk, acc, 0, 0, views, write=False)
+        for acc in stmt.writes:
+            self._ensure(tmk, acc, 0, 0, views, write=True)
+        stmt.kernel(views)
+        cost = stmt.cost(self.program.params) if callable(stmt.cost) \
+            else float(stmt.cost)
+        if cost:
+            tmk.compute(cost)
+
+    # ---- parallel chunks (all processors) --------------------------------
+
+    def _run_chunk(self, tmk: Tmk, loop: ParallelLoop, views: dict) -> None:
+        if loop.accumulate:
+            # kernel contributions go to a private buffer; the buffer is
+            # then written into this processor's row of the shared staging
+            # array (the merge loop unit sums the rows afterwards)
+            views = dict(views)
+            privates = {}
+            for name in loop.accumulate:
+                decl = self.program.decl(name)
+                privates[name] = views[name] = np.zeros(decl.shape,
+                                                        dtype=decl.dtype)
+        pid, nprocs = tmk.pid, tmk.nprocs
+        if loop.schedule == "cyclic":
+            indices = cyclic_indices(loop.extent, nprocs, pid, loop.start)
+            if indices.size == 0:
+                partials = None
+                cost = 0.0
+            else:
+                for acc in _ensure_order(loop.reads, loop.accumulate):
+                    self._ensure_cyclic(tmk, acc, indices, views, write=False)
+                for acc in _ensure_order(loop.writes, loop.accumulate):
+                    self._ensure_cyclic(tmk, acc, indices, views, write=True)
+                partials = loop.kernel(views, indices)
+                cost = (sum(loop.cost_per_iter(int(i)) for i in indices)
+                        if callable(loop.cost_per_iter)
+                        else loop.cost_per_iter * indices.size)
+        else:
+            lo, hi = self._block_chunk(loop, pid, nprocs)
+            if hi <= lo:
+                partials = None
+                cost = 0.0
+            else:
+                for acc in _ensure_order(loop.reads, loop.accumulate):
+                    self._ensure(tmk, acc, lo, hi, views, write=False)
+                for acc in _ensure_order(loop.writes, loop.accumulate):
+                    self._ensure(tmk, acc, lo, hi, views, write=True)
+                partials = loop.kernel(views, lo, hi)
+                cost = loop.chunk_cost(lo, hi)
+        if cost:
+            tmk.compute(cost)
+        if loop.accumulate:
+            self._stage_contributions(tmk, loop, privates)
+        if loop.reductions:
+            self._fold_reductions(tmk, loop, partials)
+
+    def _block_chunk(self, loop: ParallelLoop, pid: int,
+                     nprocs: int) -> tuple:
+        """Block chunk; under ``balance_loops`` a loop that declares a
+        per-iteration cost function gets cost-equalized boundaries instead
+        of count-equalized ones (§8: "dynamic load balancing support")."""
+        span = loop.extent - loop.start
+        if not (self.options.balance_loops
+                and callable(loop.cost_per_iter)) or span <= 0:
+            lo, hi = block_range(span, nprocs, pid)
+            return lo + loop.start, hi + loop.start
+        costs = np.array([loop.cost_per_iter(i)
+                          for i in range(loop.start, loop.extent)],
+                         dtype=np.float64)
+        cumulative = np.concatenate(([0.0], np.cumsum(costs)))
+        targets = cumulative[-1] * np.arange(1, nprocs) / nprocs
+        cuts = np.searchsorted(cumulative, targets, side="left")
+        bounds = np.concatenate(([0], cuts, [span]))
+        return (int(bounds[pid]) + loop.start,
+                int(bounds[pid + 1]) + loop.start)
+
+    def _stage_contributions(self, tmk: Tmk, loop: ParallelLoop,
+                             privates: dict) -> None:
+        """Write this processor's private buffer into staging[pid].
+
+        Only rows actually touched are written (the source writes
+        ``buffer(i)`` for each interacting index ``i``); the previously
+        touched rows are rewritten too, so stale contributions from an
+        earlier instance can never survive in the shared row.
+        """
+        for name, buf in privates.items():
+            handle = tmk.world.space[STAGING_PREFIX + name]
+            flat = buf.reshape(buf.shape[0], -1)
+            touched = np.flatnonzero(np.any(flat != 0, axis=1))
+            prev_key = (loop.name, name)
+            prev = self._prev_touched(tmk).get(prev_key)
+            if prev is not None and (len(prev) != len(touched)
+                                     or not np.array_equal(prev, touched)):
+                touched = np.union1d(prev, touched)
+            self._prev_touched(tmk)[prev_key] = touched
+            if touched.size == 0:
+                continue
+            row_elems = int(np.prod(buf.shape[1:])) if buf.ndim > 1 else 1
+            base = tmk.pid * buf.shape[0]
+            tmk.node.ensure_write_elements(
+                handle, (base + touched) * row_elems, elem_span=row_elems)
+            staging_view = tmk.array(STAGING_PREFIX + name).raw()
+            staging_view[tmk.pid, touched] = buf[touched]
+
+    def _prev_touched(self, tmk: Tmk) -> dict:
+        if not hasattr(tmk, "_spf_prev_touched"):
+            tmk._spf_prev_touched = {}
+        return tmk._spf_prev_touched
+
+    def _ensure(self, tmk: Tmk, acc, lo: int, hi: int, views: dict,
+                write: bool) -> None:
+        handle = tmk.world.space[acc.array]
+        node = tmk.node
+        if acc.irregular:
+            idx = acc.region.footprint(views, lo, hi)
+            if write:
+                node.ensure_write_elements(handle, idx)
+            else:
+                node.ensure_read_elements(handle, idx)
+            return
+        region = acc.resolve(lo, hi, handle.shape)
+        if self.options.aggregate and not write:
+            enhanced.validate(node, handle, region)
+        elif write:
+            node.ensure_write(handle, region)
+        else:
+            node.ensure_read(handle, region)
+
+    def _ensure_cyclic(self, tmk: Tmk, acc, indices: np.ndarray, views: dict,
+                       write: bool) -> None:
+        handle = tmk.world.space[acc.array]
+        node = tmk.node
+        if acc.irregular:
+            idx = acc.region.footprint(views, indices, None)
+            if write:
+                node.ensure_write_elements(handle, idx)
+            else:
+                node.ensure_read_elements(handle, idx)
+            return
+        dims = acc.region
+        lead = dims[0] if dims else None
+        from repro.compiler.ir import Span
+        if isinstance(lead, Span) and lead.lo_off == 0 and lead.hi_off == 0:
+            # rows given by the cyclic index set; trailing dims must be full
+            row_elems = int(np.prod(handle.shape[1:])) if len(handle.shape) > 1 else 1
+            flat = indices * row_elems
+            if write:
+                node.ensure_write_elements(handle, flat, elem_span=row_elems)
+            else:
+                node.ensure_read_elements(handle, flat, elem_span=row_elems)
+        else:
+            # Point/Full leading dims behave like a regular region
+            region = acc.resolve(int(indices.min()), int(indices.max()) + 1,
+                                 handle.shape)
+            if write:
+                node.ensure_write(handle, region)
+            else:
+                node.ensure_read(handle, region)
+
+    def _fold_reductions(self, tmk: Tmk, loop: ParallelLoop,
+                         partials) -> None:
+        if self.options.tree_reductions:
+            from repro.tmk.reduction import tmk_reduce
+            for red in loop.reductions:
+                val = (partials or {}).get(red.name, red.identity)
+                final = tmk_reduce(tmk.node, val, op=red.combine)
+                if tmk.pid == 0:
+                    tmk._spf_scalars[red.name] = float(final)
+            return
+        for red in loop.reductions:
+            val = (partials or {}).get(red.name, red.identity)
+            _red, lock_id = self.reductions[red.name]
+            shared = tmk.array(REDUCTION_PREFIX + red.name)
+            tmk.lock_acquire(lock_id)
+            cur = float(shared.read((slice(0, 1),))[0])
+            shared.write((slice(0, 1),), red.combine(cur, val))
+            tmk.lock_release(lock_id)
+
+    def _read_scalars(self, tmk: Tmk) -> dict:
+        if self.options.tree_reductions:
+            return dict(tmk._spf_scalars)
+        out = {}
+        for name in self.reductions:
+            shared = tmk.array(REDUCTION_PREFIX + name)
+            out[name] = float(shared.read((slice(0, 1),))[0])
+        return out
+
+
+def compile_spf(program: Program, nprocs: int = 8,
+                options: Optional[SpfOptions] = None) -> SpfExecutable:
+    return SpfExecutable(program, options or SpfOptions(), nprocs)
+
+
+def run_spf(program: Program, nprocs: int = 8,
+            options: Optional[SpfOptions] = None,
+            model: Optional[MachineModel] = None,
+            gc_epochs: Optional[int] = 8) -> RunResult:
+    """Compile and run; scalars land in ``result.scalars``."""
+    exe = compile_spf(program, nprocs, options)
+
+    def setup(space: SharedSpace) -> None:
+        exe.setup_space(space)
+
+    def main(tmk: Tmk):
+        return exe.run_on(tmk)
+
+    result = tmk_run(nprocs, main, setup, model=model, gc_epochs=gc_epochs)
+    result.scalars = result.results[0]
+    return result

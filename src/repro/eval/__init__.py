@@ -1,0 +1,21 @@
+"""Evaluation harness: runs every variant of every application and
+regenerates each table and figure of the paper (see DESIGN.md §4)."""
+
+from repro.eval.constants import PAPER, PaperNumbers
+from repro.eval.experiments import (VariantResult, run_variant,
+                                    run_all_variants, VARIANTS)
+from repro.eval.tables import (format_table1, format_speedup_figure,
+                               format_traffic_table, format_comparison)
+
+__all__ = [
+    "PAPER",
+    "PaperNumbers",
+    "VariantResult",
+    "run_variant",
+    "run_all_variants",
+    "VARIANTS",
+    "format_table1",
+    "format_speedup_figure",
+    "format_traffic_table",
+    "format_comparison",
+]

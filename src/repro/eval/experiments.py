@@ -1,0 +1,164 @@
+"""Run any application in any of the paper's variants and collect metrics.
+
+Variants
+--------
+``seq``      sequential oracle (Table 1 baseline; defines speedup = 1)
+``spf``      compiler-generated shared memory (SPF -> TreadMarks)
+``tmk``      hand-coded TreadMarks shared memory
+``xhpf``     compiler-generated message passing (XHPF)
+``pvme``     hand-coded message passing (PVMe)
+``spf_opt``  SPF plus the paper's hand optimizations for that application
+``spf_old``  SPF over the *original* (8(n-1)-message) fork-join interface
+``xhpf_ie``  XHPF with CHAOS-style inspector-executor schedules (extension)
+
+Every run reports the measured-window elapsed virtual time (the paper times
+only part of each run), whole-run message/kilobyte totals (what Tables 2
+and 3 count), the speedup against the sequential oracle, and the numeric
+signature used by the test suite to prove all variants compute the same
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.common import AppSpec, combine_signatures, get_app
+from repro.compiler.seq import run_sequential
+from repro.compiler.spf import SpfOptions, run_spf
+from repro.compiler.xhpf import run_xhpf
+from repro.msg.pvme import Pvme
+from repro.sim.cluster import Cluster
+from repro.sim.machine import MachineModel
+from repro.tmk.api import tmk_run
+
+__all__ = ["VariantResult", "run_variant", "run_all_variants", "VARIANTS"]
+
+VARIANTS = ["seq", "spf", "tmk", "xhpf", "pvme", "spf_opt", "spf_old",
+            "xhpf_ie"]
+
+
+@dataclass
+class VariantResult:
+    app: str
+    variant: str
+    nprocs: int
+    preset: str
+    time: float                  # measured-window elapsed virtual seconds
+    seq_time: float              # sequential oracle's window time
+    messages: int                # measured-window totals (the paper's
+    kilobytes: float             # tables cover the timed region: Jacobi
+                                 # PVMe's 1400 = 14 x 100 timed iterations)
+    signature: dict = field(default_factory=dict)
+    dsm: Optional[object] = None
+    total_messages: int = 0      # whole run, startup included
+    total_kilobytes: float = 0.0
+    categories: dict = field(default_factory=dict)   # window, per category
+
+    @property
+    def speedup(self) -> float:
+        return self.seq_time / self.time if self.time > 0 else float("inf")
+
+    def row(self) -> str:
+        return (f"{self.app:8s} {self.variant:8s} n={self.nprocs} "
+                f"time={self.time:10.4f}s speedup={self.speedup:5.2f} "
+                f"msgs={self.messages:8d} data={self.kilobytes:10.1f}KB")
+
+
+def _seq_result(spec: AppSpec, params: dict, preset: str) -> VariantResult:
+    program = spec.build_program(params)
+    _views, scalars, time = run_sequential(program)
+    return VariantResult(app=spec.name, variant="seq", nprocs=1,
+                         preset=preset, time=time, seq_time=time,
+                         messages=0, kilobytes=0.0, signature=dict(scalars))
+
+
+def run_variant(app: str, variant: str, nprocs: int = 8,
+                preset: str = "bench",
+                model: Optional[MachineModel] = None,
+                seq_time: Optional[float] = None,
+                spf_options: Optional[SpfOptions] = None,
+                gc_epochs: Optional[int] = 8) -> VariantResult:
+    """Run one (application, variant) pair and collect its metrics."""
+    spec = get_app(app)
+    params = spec.params(preset)
+    if variant == "seq":
+        return _seq_result(spec, params, preset)
+    if seq_time is None:
+        from repro.compiler.seq import sequential_time
+        seq_time = sequential_time(spec.build_program(params))
+
+    if variant in ("spf", "spf_opt", "spf_old"):
+        if variant == "spf_opt":
+            if spec.spf_opt_options is None:
+                raise ValueError(f"{app} has no hand-optimized variant in "
+                                 f"the paper")
+            options = spec.spf_opt_options()
+        elif variant == "spf_old":
+            options = SpfOptions(improved_interface=False)
+        else:
+            options = spf_options or SpfOptions()
+        program = spec.build_program(params)
+        result = run_spf(program, nprocs=nprocs, options=options,
+                         model=model, gc_epochs=gc_epochs)
+        signature = dict(result.scalars)
+        dsm = result.dsm_stats
+    elif variant in ("xhpf", "xhpf_ie"):
+        from repro.compiler.xhpf import XhpfOptions
+        program = spec.build_program(params)
+        options = XhpfOptions(inspector_executor=(variant == "xhpf_ie"))
+        result = run_xhpf(program, nprocs=nprocs, model=model,
+                          options=options)
+        signature = dict(result.scalars)
+        dsm = None
+    elif variant == "tmk":
+        def setup(space):
+            spec.hand_tmk_setup(space, params)
+
+        def main(tmk):
+            return spec.hand_tmk(tmk, params)
+
+        result = tmk_run(nprocs, main, setup, model=model,
+                         gc_epochs=gc_epochs)
+        signature = combine_signatures(result.results)
+        dsm = result.dsm_stats
+    elif variant == "pvme":
+        cluster = Cluster(nprocs=nprocs, model=model)
+
+        def pvme_main(env):
+            return spec.hand_pvme(Pvme(env), params)
+
+        result = cluster.run(pvme_main)
+        signature = combine_signatures(result.results)
+        dsm = None
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    elapsed, wtraffic = result.window()
+    return VariantResult(
+        app=app, variant=variant, nprocs=nprocs, preset=preset,
+        time=elapsed, seq_time=seq_time,
+        messages=wtraffic.messages, kilobytes=wtraffic.kilobytes,
+        signature=signature, dsm=dsm,
+        total_messages=result.messages,
+        total_kilobytes=result.kilobytes,
+        categories={k: (v[0], v[1])
+                    for k, v in wtraffic.by_category.items()},
+    )
+
+
+def run_all_variants(app: str, nprocs: int = 8, preset: str = "bench",
+                     variants: Optional[list] = None,
+                     model: Optional[MachineModel] = None) -> dict:
+    """Run ``variants`` (default: the four of Figures 1/2 plus seq)."""
+    if variants is None:
+        variants = ["seq", "spf", "tmk", "xhpf", "pvme"]
+    out: dict = {}
+    seq_time = None
+    for variant in variants:
+        res = run_variant(app, variant, nprocs=nprocs, preset=preset,
+                          model=model, seq_time=seq_time)
+        out[variant] = res
+        if variant == "seq":
+            seq_time = res.time
+    return out

@@ -1,0 +1,64 @@
+"""Assemble archived benchmark results into one reproduction report.
+
+``pytest benchmarks/ --benchmark-only`` archives each experiment's
+paper-vs-measured table under ``benchmarks/results/``; this module stitches
+them into a single markdown document (the raw material behind
+``EXPERIMENTS.md``), via ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+__all__ = ["assemble_report", "RESULT_ORDER"]
+
+RESULT_ORDER = [
+    ("table1_sequential", "E1 — Table 1: sizes and sequential times"),
+    ("fig1_regular_speedups", "E2 — Figure 1: regular speedups"),
+    ("table2_regular_traffic", "E3 — Table 2: regular traffic"),
+    ("fig2_irregular_speedups", "E4 — Figure 2: irregular speedups"),
+    ("table3_irregular_traffic", "E5 — Table 3: irregular traffic"),
+    ("sec23_interface", "E6 — §2.3: improved fork-join interface"),
+    ("sec5_hand_optimizations", "E7–E10 — §5: hand optimizations"),
+    ("sec54_fft_aggregation", "E10 — §5.4: FFT aggregation detail"),
+    ("sec5_barrier_elimination", "E13 — barrier elimination"),
+    ("sec7_summary", "E11 — §7: summary ratios"),
+    ("ext_scaling", "E12 — extension: processor scaling"),
+    ("ext_section8_enhancements", "E14 — extension: §8 enhancements"),
+    ("ext_sensitivity", "E15 — ablation: model sensitivity"),
+    ("ext_inspector", "E16 — extension: inspector-executor"),
+]
+
+
+def assemble_report(results_dir: Optional[pathlib.Path] = None) -> str:
+    """Render every archived result as one markdown document."""
+    if results_dir is None:
+        results_dir = (pathlib.Path(__file__).resolve()
+                       .parents[3] / "benchmarks" / "results")
+    results_dir = pathlib.Path(results_dir)
+    lines = ["# Reproduction report",
+             "",
+             "Generated from the archives under "
+             f"`{results_dir}`.  Regenerate the archives with "
+             "`pytest benchmarks/ --benchmark-only`; see EXPERIMENTS.md "
+             "for the curated analysis.", ""]
+    found = 0
+    for name, title in RESULT_ORDER:
+        path = results_dir / f"{name}.txt"
+        if not path.exists():
+            lines += [f"## {title}", "", "*(not yet run)*", ""]
+            continue
+        found += 1
+        lines += [f"## {title}", "", "```",
+                  path.read_text().rstrip(), "```", ""]
+    extras = sorted(p for p in results_dir.glob("*.txt")
+                    if p.stem not in {n for n, _t in RESULT_ORDER}) \
+        if results_dir.exists() else []
+    for path in extras:
+        lines += [f"## {path.stem}", "", "```",
+                  path.read_text().rstrip(), "```", ""]
+    if found == 0 and not extras:
+        lines.append("No archived results found — run the benchmarks "
+                     "first.")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Collective operations over :class:`~repro.msg.endpoint.Comm`.
+
+Implemented with the algorithms a mid-90s library would use on an SP/2:
+
+* broadcast and reduce as binomial trees (``n-1`` messages, logarithmic
+  depth),
+* allreduce as reduce + broadcast,
+* gather/allgather linear to/from the root (PVM semantics),
+* alltoall as direct pairwise exchange (``n(n-1)`` messages) — this is the
+  pattern 3-D FFT's transpose uses, where the paper observes the hand-coded
+  message-passing version needs ~30x fewer messages than the DSM,
+* a dissemination barrier for completeness (hand-coded message-passing
+  programs rarely need it; data messages carry the synchronization).
+
+Every collective is, well, collective: all ranks must call it with matching
+arguments; internal phase tags are drawn deterministically per call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.msg.endpoint import Comm
+
+__all__ = ["bcast", "reduce", "allreduce", "gather", "allgather",
+           "scatter", "alltoall", "mp_barrier"]
+
+
+def _tree_children(rank: int, root: int, size: int) -> list[int]:
+    """Binomial-tree children of ``rank`` in a tree rooted at ``root``."""
+    rel = (rank - root) % size
+    children = []
+    lowbit = rel & -rel if rel else size  # rel 0 keeps all bits
+    bit = 1
+    while bit < size and bit < lowbit:
+        if rel + bit < size:
+            children.append((rel + bit + root) % size)
+        bit <<= 1
+    return children
+
+
+def _tree_parent(rank: int, root: int, size: int) -> Optional[int]:
+    rel = (rank - root) % size
+    if rel == 0:
+        return None
+    # clear the lowest set bit of rel
+    parent_rel = rel & (rel - 1)
+    return (parent_rel + root) % size
+
+
+def bcast(comm: Comm, value: Any, root: int = 0, tag: Optional[int] = None) -> Any:
+    """Binomial-tree broadcast; returns the value on every rank."""
+    tag = comm.next_tag() if tag is None else tag
+    if comm.rank != root:
+        value = comm.recv(src=_tree_parent(comm.rank, root, comm.size), tag=tag)
+    for child in _tree_children(comm.rank, root, comm.size):
+        comm.send(child, value, tag=tag)
+    return value
+
+
+def reduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any],
+           root: int = 0, tag: Optional[int] = None) -> Any:
+    """Binomial-tree reduction; result valid only on ``root``."""
+    tag = comm.next_tag() if tag is None else tag
+    acc = value
+    for child in _tree_children(comm.rank, root, comm.size):
+        acc = op(acc, comm.recv(src=child, tag=tag))
+    parent = _tree_parent(comm.rank, root, comm.size)
+    if parent is not None:
+        comm.send(parent, acc, tag=tag)
+        return None
+    return acc
+
+
+def allreduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Reduce to rank 0, then broadcast the result."""
+    acc = reduce(comm, value, op, root=0)
+    return bcast(comm, acc, root=0)
+
+
+def gather(comm: Comm, value: Any, root: int = 0,
+           tag: Optional[int] = None) -> Optional[list]:
+    """Linear gather; returns the rank-ordered list on ``root``."""
+    tag = comm.next_tag() if tag is None else tag
+    if comm.rank == root:
+        out: list = [None] * comm.size
+        out[root] = value
+        for _ in range(comm.size - 1):
+            msg = comm.recv_msg(tag=tag)
+            out[msg.src] = msg.payload
+        return out
+    comm.send(root, value, tag=tag)
+    return None
+
+
+def allgather(comm: Comm, value: Any) -> list:
+    """Gather to rank 0, broadcast the list."""
+    out = gather(comm, value, root=0)
+    return bcast(comm, out, root=0)
+
+
+def scatter(comm: Comm, values: Optional[list], root: int = 0,
+            tag: Optional[int] = None) -> Any:
+    """Linear scatter of a rank-indexed list from ``root``."""
+    tag = comm.next_tag() if tag is None else tag
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise ValueError("scatter needs one value per rank at the root")
+        for dst in range(comm.size):
+            if dst != root:
+                comm.send(dst, values[dst], tag=tag)
+        return values[root]
+    return comm.recv(src=root, tag=tag)
+
+
+def alltoall(comm: Comm, values: list, tag: Optional[int] = None) -> list:
+    """Direct pairwise exchange: ``values[d]`` goes to rank ``d``.
+
+    Returns the rank-ordered received list.  ``n(n-1)`` messages total.
+    """
+    tag = comm.next_tag() if tag is None else tag
+    if len(values) != comm.size:
+        raise ValueError("alltoall needs one slot per rank")
+    out: list = [None] * comm.size
+    out[comm.rank] = values[comm.rank]
+    for shift in range(1, comm.size):
+        dst = (comm.rank + shift) % comm.size
+        comm.send(dst, values[dst], tag=tag)
+    for _ in range(comm.size - 1):
+        msg = comm.recv_msg(tag=tag)
+        out[msg.src] = msg.payload
+    return out
+
+
+def mp_barrier(comm: Comm, tag: Optional[int] = None) -> None:
+    """Dissemination barrier: ``n * ceil(log2 n)`` small messages."""
+    tag = comm.next_tag() if tag is None else tag
+    if comm.size == 1:
+        return
+    dist = 1
+    round_no = 0
+    while dist < comm.size:
+        dst = (comm.rank + dist) % comm.size
+        src = (comm.rank - dist) % comm.size
+        comm.send(dst, round_no, tag=tag + round_no, nbytes=4,
+                  category="sync")
+        comm.recv(src=src, tag=tag + round_no)
+        dist <<= 1
+        round_no += 1

@@ -1,0 +1,258 @@
+"""Deterministic discrete-event engine with thread-backed simulated processes.
+
+The engine implements classic process-oriented discrete-event simulation.
+Each simulated processor runs ordinary imperative Python (the application
+programs, the DSM protocol handlers, the message-passing library) on its own
+OS thread, but the *conductor* guarantees that exactly one thread executes at
+any instant: a thread runs until it blocks on a simulation primitive
+(:meth:`Process.hold`, :meth:`Process.park`), at which point control returns
+to the conductor, which pops the next event in ``(time, priority, seq)``
+order.  The ``seq`` tie-break makes scheduling — and therefore every result
+in the repository — fully deterministic.
+
+Virtual time is a ``float`` in seconds.  Nothing in the engine depends on
+wall-clock time; Python's execution speed never leaks into reported numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import traceback
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "Process", "SimError", "Deadlock"]
+
+
+class SimError(RuntimeError):
+    """An error raised inside a simulated process, re-raised by :meth:`Simulator.run`."""
+
+
+class Deadlock(RuntimeError):
+    """Raised when every live process is parked and no events remain."""
+
+
+class Process:
+    """A simulated process: a cooperatively-scheduled thread with a virtual clock.
+
+    Application code never constructs these directly; use
+    :meth:`Simulator.add_process`.  The public surface relevant to programs is
+    :meth:`hold` (advance virtual time / model computation), :meth:`park`
+    (block until another process calls :meth:`Simulator.unpark`), and the
+    :attr:`now` property.
+    """
+
+    def __init__(self, sim: "Simulator", pid: int, name: str,
+                 fn: Callable[..., Any], args: tuple, kwargs: dict,
+                 daemon: bool = False):
+        self.sim = sim
+        self.pid = pid
+        self.name = name
+        self.daemon = daemon
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._resume = threading.Event()
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        self.result: Any = None
+        self.parked = False
+        self.park_token: Any = None
+        self._started = False
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=f"simproc-{name}", daemon=True)
+
+    # ------------------------------------------------------------------ #
+    # thread plumbing (conductor side)
+
+    def _start(self) -> None:
+        self._started = True
+        self._thread.start()
+
+    def _bootstrap(self) -> None:
+        # Wait for the conductor to give us our first slice.
+        self._resume.wait()
+        self._resume.clear()
+        try:
+            self.result = self._fn(*self._args, **self._kwargs)
+        except _Killed:
+            pass
+        except BaseException:  # noqa: BLE001 - report any failure to conductor
+            self.sim._fail(self, traceback.format_exc())
+        finally:
+            self.finished = True
+            self.finish_time = self.sim.now
+            self.sim._switch_to_conductor()
+
+    def _run_slice(self) -> None:
+        """Conductor hands the CPU to this process and waits for it to block."""
+        self._resume.set()
+        self.sim._conductor_wait()
+
+    # ------------------------------------------------------------------ #
+    # primitives (called from the process's own thread)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def hold(self, dt: float) -> None:
+        """Advance this process's virtual clock by ``dt`` seconds.
+
+        Models local computation or fixed software overheads.  ``dt`` may be
+        zero (a pure yield, which still gives deterministically-ordered
+        scheduling to same-time events).
+        """
+        if dt < 0:
+            raise ValueError(f"negative hold: {dt}")
+        self.sim._schedule_wakeup(self, self.sim.now + dt)
+        self._block()
+
+    def park(self, token: Any = None) -> None:
+        """Block until another process calls :meth:`Simulator.unpark` on us."""
+        self.parked = True
+        self.park_token = token
+        self._block()
+
+    def _block(self) -> None:
+        self.sim._switch_to_conductor()
+        self._resume.wait()
+        self._resume.clear()
+        if self.sim._dead:
+            raise _Killed()
+
+
+class _Killed(BaseException):
+    """Internal: unwinds a process thread when the simulation is torn down."""
+
+
+class Simulator:
+    """The conductor: owns the event queue and the global virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._procs: list[Process] = []
+        self._conductor_evt = threading.Event()
+        self._error: Optional[str] = None
+        self._dead = False
+        self._running = False
+        self._current: Optional[Process] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_process(self, name: str, fn: Callable[..., Any],
+                    *args: Any, daemon: bool = False, **kwargs: Any) -> Process:
+        """Register a simulated process.
+
+        ``daemon`` processes (protocol servers) do not keep the simulation
+        alive: once every non-daemon process has finished, :meth:`run`
+        returns, and parked daemons are not a deadlock.
+        """
+        proc = Process(self, len(self._procs), name, fn, args, kwargs,
+                       daemon=daemon)
+        self._procs.append(proc)
+        self._schedule_wakeup(proc, self.now)
+        if self._running and not proc._started:
+            proc._start()
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # scheduling internals
+
+    def _schedule_wakeup(self, proc: Process, at: float, priority: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, priority, self._seq, proc))
+
+    def schedule_call(self, delay: float, fn: Callable[[], None],
+                      priority: int = 0) -> None:
+        """Run ``fn`` on the conductor at ``now + delay`` (no process context)."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, fn))
+
+    def unpark(self, proc: Process, delay: float = 0.0, priority: int = 0) -> None:
+        """Make a parked process runnable again at ``now + delay``."""
+        if not proc.parked:
+            raise SimError(f"unpark of non-parked process {proc.name}")
+        proc.parked = False
+        proc.park_token = None
+        self._schedule_wakeup(proc, self.now + delay, priority)
+
+    # ------------------------------------------------------------------ #
+    # conductor <-> process handoff
+
+    def _conductor_wait(self) -> None:
+        self._conductor_evt.wait()
+        self._conductor_evt.clear()
+
+    def _switch_to_conductor(self) -> None:
+        self._conductor_evt.set()
+
+    def _fail(self, proc: Process, tb: str) -> None:
+        if self._error is None:
+            self._error = f"process {proc.name!r} raised:\n{tb}"
+
+    # ------------------------------------------------------------------ #
+    # main loop
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation until all processes finish (or ``until``).
+
+        Returns the final virtual time.  Raises :class:`SimError` if any
+        process raised, and :class:`Deadlock` if live processes remain but no
+        event can ever wake them.
+        """
+        self._running = True
+        for proc in self._procs:
+            if not proc._started:
+                proc._start()
+        try:
+            while self._queue:
+                if all(p.finished for p in self._procs if not p.daemon):
+                    break
+                at, _pri, _seq, target = heapq.heappop(self._queue)
+                if until is not None and at > until:
+                    self.now = until
+                    break
+                self.now = at
+                if isinstance(target, Process):
+                    if target.finished:
+                        continue
+                    self._current = target
+                    target._run_slice()
+                    self._current = None
+                else:
+                    target()
+                if self._error is not None:
+                    raise SimError(self._error)
+            live = [p for p in self._procs if not p.finished and not p.daemon]
+            if live and until is None:
+                names = ", ".join(p.name for p in live)
+                raise Deadlock(
+                    f"no events remain but {len(live)} process(es) still "
+                    f"blocked: {names}")
+            return self.now
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        """Unblock any still-parked threads so they exit (daemon hygiene)."""
+        self._dead = True
+        for proc in self._procs:
+            if proc._started and not proc.finished:
+                proc._resume.set()
+        for proc in self._procs:
+            if proc._started:
+                proc._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current(self) -> Process:
+        """The process currently executing (valid only from process context)."""
+        cur = self._current
+        if cur is None:
+            raise SimError("no process is currently executing")
+        return cur

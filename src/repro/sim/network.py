@@ -1,0 +1,183 @@
+"""Simulated interconnect: mailboxes, tag matching, and traffic accounting.
+
+Semantics follow the user-level MPL/PVMe libraries the paper runs on:
+
+* ``send`` is buffered and asynchronous — the sender is charged its software
+  send overhead and continues; the message is delivered to the destination
+  mailbox after the modelled wire time.
+* ``recv`` blocks until a matching message (by source and tag) is present,
+  then charges the receiver's software overhead and returns the payload.
+
+Every message carries an accounting *category* (``"data"``, ``"sync"``,
+``"diff"``, ...) and a declared payload size in bytes.  The paper's Tables 2
+and 3 report total message counts and total kilobytes per program; the
+:class:`NetworkStats` object accumulates exactly those, per category, and the
+evaluation harness snapshots it per run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.engine import Process, SimError, Simulator
+from repro.sim.machine import MachineModel
+
+__all__ = ["Network", "Message", "NetworkStats", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """One in-flight or delivered message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    category: str
+    sent_at: float
+    delivered_at: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Message and byte totals, overall and per category.
+
+    ``messages``/``bytes`` count every network message including protocol
+    requests and synchronization, which is how the paper counts (e.g. a
+    TreadMarks page fault is *two* messages: request and response).
+    """
+
+    messages: int = 0
+    bytes: int = 0
+    by_category: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+
+    def record(self, category: str, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        cell = self.by_category[category]
+        cell[0] += 1
+        cell[1] += nbytes
+
+    def snapshot(self) -> "NetworkStats":
+        snap = NetworkStats(self.messages, self.bytes)
+        snap.by_category = defaultdict(
+            lambda: [0, 0], {k: list(v) for k, v in self.by_category.items()})
+        return snap
+
+    def delta(self, earlier: "NetworkStats") -> "NetworkStats":
+        out = NetworkStats(self.messages - earlier.messages,
+                           self.bytes - earlier.bytes)
+        keys = set(self.by_category) | set(earlier.by_category)
+        for key in keys:
+            a = self.by_category.get(key, [0, 0])
+            b = earlier.by_category.get(key, [0, 0])
+            out.by_category[key] = [a[0] - b[0], a[1] - b[1]]
+        return out
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bytes / 1024.0
+
+
+class Network:
+    """Point-to-point message transport between ``nprocs`` endpoints."""
+
+    def __init__(self, sim: Simulator, nprocs: int, model: MachineModel):
+        self.sim = sim
+        self.nprocs = nprocs
+        self.model = model
+        self.stats = NetworkStats()
+        # mailbox[dst] holds delivered, un-received messages in arrival order
+        self._mailbox: list[deque[Message]] = [deque() for _ in range(nprocs)]
+        # waiting[dst] -> list of (process, src_filter, tag_filter); a node's
+        # main program and its DSM request server may both be blocked in recv
+        # on the same endpoint with disjoint tag filters.
+        self._waiting: list[list[tuple[Process, int, int]]] = [
+            [] for _ in range(nprocs)]
+        # cut-through link model: each node has one send link and one
+        # receive link; a message occupies the send link for its transfer
+        # time starting at `start`, and the receive link for the same
+        # duration offset by the wire latency.  Concurrent transfers to or
+        # from one node serialize — the effect that makes an all-to-all
+        # transpose or a broadcast-everything epilogue pay for its volume.
+        self._src_free = [0.0] * nprocs
+        self._dst_free = [0.0] * nprocs
+
+    # ------------------------------------------------------------------ #
+
+    def send(self, proc: Process, src: int, dst: int, payload: Any, *,
+             tag: int = 0, nbytes: int, category: str = "data",
+             charge_sender: bool = True) -> None:
+        """Asynchronously send ``payload`` from ``src`` to ``dst``.
+
+        ``nbytes`` is the accounted payload size; callers declare it because
+        payloads are Python objects whose wire encoding we model rather than
+        perform.  ``charge_sender=False`` supports piggybacked replies whose
+        send cost is already folded into a handler's protocol overhead.
+        """
+        if not (0 <= dst < self.nprocs):
+            raise SimError(f"bad destination {dst}")
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        if charge_sender:
+            proc.hold(self.model.send_overhead)
+        msg = Message(src=src, dst=dst, tag=tag, payload=payload,
+                      nbytes=nbytes, category=category, sent_at=self.sim.now)
+        self.stats.record(category, nbytes)
+        transfer = (nbytes + self.model.message_header_bytes) \
+            * self.model.byte_time
+        latency = self.model.latency
+        now = self.sim.now
+        start = max(now, self._src_free[src], self._dst_free[dst] - latency)
+        self._src_free[src] = start + transfer
+        arrival = start + latency + transfer
+        self._dst_free[dst] = arrival
+        self.sim.schedule_call(arrival - now, lambda: self._deliver(msg))
+
+    def _deliver(self, msg: Message) -> None:
+        msg.delivered_at = self.sim.now
+        self._mailbox[msg.dst].append(msg)
+        waiters = self._waiting[msg.dst]
+        for i, (proc, src_f, tag_f) in enumerate(waiters):
+            if self._match(msg, src_f, tag_f):
+                del waiters[i]
+                self.sim.unpark(proc)
+                break
+
+    @staticmethod
+    def _match(msg: Message, src: int, tag: int) -> bool:
+        return ((src == ANY_SOURCE or msg.src == src)
+                and (tag == ANY_TAG or msg.tag == tag))
+
+    def _take(self, dst: int, src: int, tag: int) -> Optional[Message]:
+        box = self._mailbox[dst]
+        for i, msg in enumerate(box):
+            if self._match(msg, src, tag):
+                del box[i]
+                return msg
+        return None
+
+    def recv(self, proc: Process, dst: int, *, src: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Message:
+        """Block until a message matching ``(src, tag)`` arrives at ``dst``."""
+        msg = self._take(dst, src, tag)
+        while msg is None:
+            self._waiting[dst].append((proc, src, tag))
+            proc.park(token=("recv", dst, src, tag))
+            msg = self._take(dst, src, tag)
+        proc.hold(self.model.recv_overhead)
+        return msg
+
+    def probe(self, dst: int, *, src: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> bool:
+        """Non-blocking: is a matching message already in the mailbox?"""
+        return any(self._match(m, src, tag) for m in self._mailbox[dst])
+
+    def pending(self, dst: int) -> int:
+        return len(self._mailbox[dst])

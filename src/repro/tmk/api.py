@@ -1,0 +1,139 @@
+"""The TreadMarks application programming interface.
+
+Mirrors the real library's surface: ``Tmk_startup`` (implicit),
+``Tmk_proc_id`` / ``Tmk_nprocs`` (:attr:`Tmk.pid` / :attr:`Tmk.nprocs`),
+``Tmk_malloc`` (static allocation through :class:`~repro.tmk.pagespace.
+SharedSpace` plus per-node :meth:`Tmk.array` binding), ``Tmk_barrier`` and
+``Tmk_lock_acquire`` / ``Tmk_lock_release``.
+
+Run a shared-memory program with :func:`tmk_run`::
+
+    def setup(space):
+        space.alloc("grid", (1024, 1024), np.float32)
+
+    def program(tmk):
+        grid = tmk.array("grid")
+        ...
+        tmk.barrier()
+
+    result = tmk_run(nprocs=8, program=program, setup=setup)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.cluster import Cluster, ProcEnv, RunResult
+from repro.sim.machine import MachineModel
+from repro.tmk.pagespace import ArrayHandle, SharedSpace
+from repro.tmk.protocol import TmkNode
+from repro.tmk.server import start_server
+from repro.tmk.shared import SharedArray
+from repro.tmk.stats import DsmStats
+from repro.tmk import sync as _sync
+
+__all__ = ["TmkWorld", "Tmk", "tmk_run"]
+
+
+class TmkWorld:
+    """Cluster-wide DSM context: address-space layout and manager state.
+
+    ``gc_epochs`` bounds the diff cache: diffs older than that many barriers
+    are collected and later requests fall back to whole-page transfers
+    (``None`` disables GC — fine for tests and short runs).
+    """
+
+    def __init__(self, nprocs: int, space: SharedSpace,
+                 gc_epochs: Optional[int] = 8):
+        self.nprocs = nprocs
+        self.space = space
+        self.gc_epochs = gc_epochs
+        self.nodes: dict[int, TmkNode] = {}
+        self.barrier_mgr = _sync.BarrierManager(nprocs)
+        self.lock_table = _sync.LockTable(nprocs)
+        self.dsm_stats = DsmStats()
+
+
+class Tmk:
+    """Per-processor handle to the DSM (what a program receives)."""
+
+    def __init__(self, env: ProcEnv, world: TmkWorld):
+        self.env = env
+        self.world = world
+        self.pid = env.pid
+        self.nprocs = env.nprocs
+        node_cls = getattr(world, "_node_class", TmkNode)
+        self.node = node_cls(world, env)
+        start_server(self.node)
+        self._arrays: dict[str, SharedArray] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def array(self, name: str) -> SharedArray:
+        """Bind (and cache) the local view of a statically allocated array."""
+        arr = self._arrays.get(name)
+        if arr is None:
+            arr = SharedArray(self.node, self.world.space[name])
+            self._arrays[name] = arr
+        return arr
+
+    def barrier(self) -> None:
+        getattr(self.world, "_traced_barrier", _sync.barrier)(self.node)
+
+    def lock_acquire(self, lock: int) -> None:
+        _sync.lock_acquire(self.node, lock)
+
+    def lock_release(self, lock: int) -> None:
+        _sync.lock_release(self.node, lock)
+
+    def compute(self, seconds: float) -> None:
+        """Charge application computation time."""
+        self.env.compute(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    # convenience for block distribution (the library offered helpers too)
+    def block_range(self, extent: int) -> tuple:
+        """This processor's [lo, hi) slice of a block-distributed extent."""
+        base, rem = divmod(extent, self.nprocs)
+        lo = self.pid * base + min(self.pid, rem)
+        hi = lo + base + (1 if self.pid < rem else 0)
+        return lo, hi
+
+
+def tmk_run(nprocs: int,
+            program: Callable,
+            setup: Callable[[SharedSpace], None],
+            args: Sequence = (),
+            model: Optional[MachineModel] = None,
+            gc_epochs: Optional[int] = 8,
+            trace: bool = False) -> RunResult:
+    """Run ``program(tmk, *args)`` on ``nprocs`` simulated processors.
+
+    ``setup(space)`` performs the static shared allocation (every node sees
+    the same layout).  The returned :class:`RunResult` additionally carries
+    the run's :class:`DsmStats` as ``result.dsm_stats``; with
+    ``trace=True`` it also carries a :class:`~repro.tmk.trace.
+    ProtocolTrace` as ``result.trace``.
+    """
+    space = SharedSpace()
+    setup(space)
+    world = TmkWorld(nprocs, space, gc_epochs=gc_epochs)
+    if trace:
+        from repro.tmk.trace import attach_tracer
+        attach_tracer(world)
+    cluster = Cluster(nprocs=nprocs, model=model)
+
+    def wrapper(env: ProcEnv, *rest):
+        tmk = Tmk(env, world)
+        return program(tmk, *rest)
+
+    result = cluster.run(wrapper, args=args)
+    result.dsm_stats = world.dsm_stats.snapshot()
+    if trace:
+        result.trace = world.trace
+    return result

@@ -1,0 +1,309 @@
+"""Enhanced compiler–DSM interface (Dwarkadas, Cox & Zwaenepoel, ASPLOS'96).
+
+Section 8 of the paper credits three hand-applied optimizations to this
+interface and shows they could be automated: *aggregating* data
+communication, *merging* synchronization and data, and *pushing* data
+instead of the DSM's default request–response.  The evaluation's
+"Results of Hand Optimizations" paragraphs (Sections 5.1–5.4) all use them.
+
+* :func:`validate` — aggregated fetch: bring a whole region up to date with
+  **one** request/reply round-trip per writer instead of one per page, and
+  without per-page fault overhead (requests are issued before the access).
+  This is the "data aggregation" fix for Jacobi, Shallow and 3-D FFT.
+* :class:`PushPayload` / :func:`push_regions` — at a release, send one's
+  modifications of the pages under a region directly to the consumers
+  (whole-page diffs, i.e. eager rather than lazy propagation).
+* :func:`broadcast` — one-to-all propagation of a region from a processor
+  that holds its current contents (MGS's ith-vector broadcast).  Combined
+  with fork-message piggybacking this merges synchronization and data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.machine import PAGE_SIZE
+from repro.tmk.diffs import apply_diff, diff_nbytes, make_diff
+from repro.tmk.pagespace import ArrayHandle
+from repro.tmk.protocol import (TAG_FETCH_REP, TAG_PUSH, TAG_TMK_REQ,
+                                DiffRequest, TmkNode)
+
+__all__ = ["validate", "push_regions", "broadcast", "PushPayload",
+           "BcastPayload", "drain_pushes", "expect_pushes"]
+
+
+def validate(node: TmkNode, handle: ArrayHandle, region=None,
+             flat_indices=None) -> None:
+    """Aggregated fetch of every invalid page under ``region``.
+
+    Equivalent in outcome to faulting each page one at a time, but with one
+    round-trip per *writer* (all that writer's needed pages batched) and no
+    per-page fault traps.
+    """
+    if flat_indices is not None:
+        pages = handle.element_pages(flat_indices)
+    elif region is not None:
+        pages = handle.region_pages(region)
+    else:
+        pages = np.asarray(list(handle.pages()))
+    by_writer: dict[int, list] = {}
+    metas = {}
+    for page in pages.tolist():
+        m = node.meta(page)
+        if m.valid:
+            continue
+        metas[page] = m
+        for w, from_id in m.missing_writers():
+            by_writer.setdefault(w, []).append((page, from_id))
+    if not metas:
+        return
+    node.world.dsm_stats.aggregated_validates += 1
+    proc = node.env.proc
+    for w, batch in sorted(by_writer.items()):
+        req = DiffRequest(reply_to=node.pid, batch=batch)
+        node.net.send(proc, node.pid, w, req, tag=TAG_TMK_REQ,
+                      nbytes=req.nbytes(), category="diff_req")
+    replies_by_page: dict[int, list] = {p: [] for p in metas}
+    for w in sorted(by_writer):
+        msg = node.net.recv(proc, node.pid, src=w, tag=TAG_FETCH_REP)
+        for page, diffs, full_page, full_label, full_applied in msg.payload.batch:
+            replies_by_page[page].append(
+                (w, _Part(diffs, full_page, full_label, full_applied)))
+    for page, m in metas.items():
+        node._apply_replies(page, m, replies_by_page[page])
+        m.valid = True
+
+
+class _Part:
+    """Adapter: one page's slice of a batched reply, shaped like DiffReply."""
+
+    __slots__ = ("diffs", "full_page", "full_label", "full_applied")
+
+    def __init__(self, diffs, full_page, full_label, full_applied):
+        self.diffs = diffs
+        self.full_page = full_page
+        self.full_label = full_label
+        self.full_applied = full_applied
+
+
+# ---------------------------------------------------------------------- #
+# push: eager propagation of one's own modifications at a release point
+
+def push_regions(node: TmkNode, regions: Sequence, dests: Iterable[int]) -> None:
+    """Send this node's modifications of the pages under ``regions`` to
+    ``dests``, ahead of (instead of) their demand fetches.
+
+    Must be called at a release point *before* the synchronization that
+    would otherwise invalidate the consumers (the barrier/fork still runs;
+    consumers simply find the pages already current).  Pushes whole-page
+    diffs, so receivers hold exactly what a demand fetch would have built.
+    """
+    payload = PushPayload.build(node, regions)
+    if payload is None:
+        return
+    proc = node.env.proc
+    for dst in dests:
+        if dst == node.pid:
+            continue
+        node.net.send(proc, node.pid, dst, payload, tag=TAG_PUSH,
+                      nbytes=payload.nbytes_on_wire, category="data")
+        node.world.dsm_stats.pushes += 1
+
+
+def drain_pushes(node: TmkNode) -> None:
+    """Install any pushed data that has arrived (call right after the
+    synchronization operation that follows the producers' pushes)."""
+    proc = node.env.proc
+    while node.net.probe(node.pid, tag=TAG_PUSH):
+        msg = node.net.recv(proc, node.pid, tag=TAG_PUSH)
+        msg.payload.install(node)
+
+
+def expect_pushes(node: TmkNode, count: int) -> None:
+    """Blockingly install exactly ``count`` pushed messages."""
+    proc = node.env.proc
+    for _ in range(count):
+        msg = node.net.recv(proc, node.pid, tag=TAG_PUSH)
+        msg.payload.install(node)
+
+
+class PushPayload:
+    """Diffs of the sender's dirty pages under some regions.
+
+    Also serves as the fork-message piggyback payload ("merging
+    synchronization and data"): :meth:`install` applies the diffs and
+    advances the receiver's applied watermarks so the accompanying write
+    notices do not re-invalidate the pages.
+    """
+
+    def __init__(self, sender: int, entries: list, nbytes_on_wire: int):
+        self.sender = sender
+        self.entries = entries      # [(page, top, wm, okey, diff)]
+        self.nbytes_on_wire = nbytes_on_wire
+
+    @classmethod
+    def build(cls, node: TmkNode, regions: Sequence) -> "PushPayload | None":
+        """Build from the sender's current modifications.
+
+        Pushing is an (eager) release of the sender's writes, so the open
+        interval is closed here: the entries' watermarks then cover it and
+        the accompanying synchronization's write notices do not
+        re-invalidate the receivers.  The release/fork that follows simply
+        finds the interval already closed.
+        """
+        node.close_interval()
+        entries = []
+        total = 16
+        seen_pages = set()
+        for handle, region in regions:
+            for page in handle.region_pages(region).tolist():
+                if page in seen_pages:
+                    continue
+                seen_pages.add(page)
+                m = node.meta(page)
+                if m.dirty:
+                    node._create_diff(page, m, charge=node.env.proc)
+                cached = node.diff_cache.get(page, [])
+                if not cached:
+                    continue
+                entry = cached[-1]
+                entries.append((page, entry.top, entry.wm, entry.okey,
+                                entry.diff))
+                total += diff_nbytes(entry.diff) + 16
+        if not entries:
+            return None
+        return cls(node.pid, entries, total)
+
+    def install(self, node: TmkNode) -> None:
+        model = node.model
+        proc = node.env.sim.current
+        for page, top, wm, okey, diff in self.entries:
+            m = node.meta(page)
+            if top <= m.applied.get(self.sender, 0):
+                continue
+            if any(w != self.sender for w, _f in m.missing_writers()):
+                # content from other writers with possibly *older* intervals
+                # is still outstanding; applying this (newer) diff first
+                # would let the later demand fetch regress its words.  Drop
+                # the push — the demand path merges everything in order.
+                continue
+            if m.dirty:
+                node._create_diff(page, m, charge=proc)
+            apply_diff(node.page_bytes(page), diff)
+            proc.hold(model.diff_apply_time(diff_nbytes(diff)))
+            node.world.dsm_stats.diffs_applied += 1
+            node.world.dsm_stats.diff_bytes_applied += diff_nbytes(diff)
+            m.applied[self.sender] = max(m.applied.get(self.sender, 0), wm)
+            if not m.missing_writers():
+                m.valid = True
+
+
+class BcastPayload:
+    """Full page images from a holder of the *current* contents.
+
+    The sync+data merge the paper applies to MGS: the master, having just
+    normalized the ith vector (and therefore holding the complete newest
+    page), attaches the page images to the fork message; receivers install
+    them and mark every pending notice satisfied — no faults, no separate
+    broadcast messages.  Unlike :class:`PushPayload` (diffs of the sender's
+    own writes), an image subsumes all writers, so ordering is moot.
+    """
+
+    def __init__(self, sender: int, images: list, nbytes_on_wire: int):
+        self.sender = sender
+        self.images = images      # [(page, bytes, applied, wm, okey)]
+        self.nbytes_on_wire = nbytes_on_wire
+
+    @classmethod
+    def build(cls, node: TmkNode, regions: Sequence) -> "BcastPayload | None":
+        node.close_interval()
+        images = []
+        nbytes = 16
+        proc = node.env.proc
+        for handle, region in regions:
+            for page in handle.region_pages(region).tolist():
+                m = node.meta(page)
+                if m.missing_writers():
+                    raise RuntimeError(
+                        f"BcastPayload from a stale holder (page {page}); "
+                        f"the sender must fault the region in first")
+                if m.dirty:
+                    node._create_diff(page, m, charge=proc)
+                wm = m.last_closed if page in node.open_writes \
+                    else m.last_written
+                images.append((page, node.page_bytes(page).tobytes(),
+                               dict(m.applied), wm,
+                               m.last_okey or (0, node.pid)))
+                nbytes += PAGE_SIZE + 16
+        if not images:
+            return None
+        return cls(node.pid, images, nbytes)
+
+    def install(self, node: TmkNode) -> None:
+        proc = node.env.sim.current
+        model = node.model
+        for page, image, sender_applied, wm, _okey in self.images:
+            m = node.meta(page)
+            if m.dirty:
+                node._create_diff(page, m, charge=proc)
+            node.page_bytes(page)[:] = np.frombuffer(image, dtype=np.uint8)
+            proc.hold(model.diff_apply_time(len(image)))
+            for w, lbl in sender_applied.items():
+                m.applied[w] = max(m.applied.get(w, 0), lbl)
+            m.applied[self.sender] = max(m.applied.get(self.sender, 0), wm)
+            for w in list(m.pending):
+                m.applied[w] = max(m.applied.get(w, 0), m.pending[w])
+            m.valid = True
+            node.world.dsm_stats.pushes += 1
+
+
+# ---------------------------------------------------------------------- #
+# broadcast: one-to-all region propagation from an up-to-date holder
+
+def broadcast(node: TmkNode, handle: ArrayHandle, region, root: int) -> None:
+    """Propagate ``region``'s pages from ``root`` to every processor.
+
+    The root must hold the current contents of those pages (it typically
+    just wrote or faulted them).  Receivers install full page images and
+    mark every pending notice satisfied.  Used for MGS's ith vector, where
+    the paper modified TreadMarks to use a broadcast.
+    """
+    proc = node.env.proc
+    pages = handle.region_pages(region).tolist()
+    if node.pid == root:
+        images = []
+        nbytes = 16
+        for page in pages:
+            m = node.meta(page)
+            if m.dirty:
+                node._create_diff(page, m, charge=proc)
+            # claimable watermark: only closed intervals (see protocol.py)
+            root_wm = m.last_closed if page in node.open_writes \
+                else m.last_written
+            images.append((page, node.page_bytes(page).tobytes(),
+                           dict(m.applied),
+                           root_wm, (m.last_okey or (0, root))))
+            nbytes += PAGE_SIZE + 16
+        for dst in range(node.nprocs):
+            if dst == root:
+                continue
+            node.net.send(proc, node.pid, dst, images, tag=TAG_PUSH,
+                          nbytes=nbytes, category="data")
+    else:
+        msg = node.net.recv(proc, node.pid, src=root, tag=TAG_PUSH)
+        for page, image, root_applied, root_last, _okey in msg.payload:
+            m = node.meta(page)
+            if m.dirty:
+                node._create_diff(page, m, charge=proc)
+            node.page_bytes(page)[:] = np.frombuffer(image, dtype=np.uint8)
+            # our own preserved modifications survive only if the root had
+            # them; the usage contract (root up to date) guarantees it
+            for w, lbl in root_applied.items():
+                m.applied[w] = max(m.applied.get(w, 0), lbl)
+            m.applied[root] = max(m.applied.get(root, 0), root_last,
+                                  m.pending.get(root, 0))
+            for w in list(m.pending):
+                m.applied[w] = max(m.applied.get(w, 0), m.pending[w])
+            m.valid = True

@@ -1,0 +1,187 @@
+"""The compiler–runtime fork-join interface of Section 2.3.
+
+The SPF compiler expects fork-join semantics: a master executes the
+sequential program and dispatches encapsulated parallel-loop subroutines to
+workers.  Two implementations are provided:
+
+:class:`OldForkJoin`
+    The paper's *initial* implementation: plain TreadMarks barriers
+    encapsulate each parallel loop, and the loop control variables
+    (subroutine index and parameters) travel through two shared-memory
+    pages that every worker page-faults in.  Cost per parallel loop:
+    two barriers (``4(n-1)`` messages) plus two control-page faults per
+    worker (``4(n-1)`` messages) = ``8(n-1)``.
+
+:class:`ImprovedForkJoin`
+    The optimized interface the paper's results use: explicit one-to-all
+    *departure* (fork) and all-to-one *arrival* (join) messages, with the
+    control variables and consistency information piggybacked on the fork.
+    Cost per parallel loop: ``2(n-1)`` messages.
+
+Both are proper synchronization operations of the lazy-RC protocol: a fork
+is a release by the master and an acquire by each worker; a join is the
+reverse.  ``benchmarks/test_sec23_interface.py`` reproduces the 8(n-1) →
+2(n-1) reduction and its execution-time effect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tmk.intervals import notice_payload_nbytes, records_unknown_to, SeenVector
+from repro.tmk.pagespace import SharedSpace
+from repro.tmk.protocol import TAG_FORK, TAG_JOIN, TmkNode
+from repro.tmk.shared import SharedArray
+from repro.tmk import sync as _sync
+
+__all__ = ["OldForkJoin", "ImprovedForkJoin", "make_forkjoin",
+           "alloc_old_interface_control", "STOP"]
+
+STOP = -1
+CTRL_SUB = "__fj_sub"
+CTRL_ARG = "__fj_arg"
+MAX_ARGS = 32
+CONTROL_BYTES = 64    # subroutine index + parameter block on the wire
+
+
+def alloc_old_interface_control(space: SharedSpace) -> None:
+    """Allocate the two control pages the old interface communicates through.
+
+    They are distinct shared pages on purpose — the paper notes "the two
+    sets of control variables reside in different shared pages, incurring
+    two requests to obtain them for each parallel loop."
+    """
+    space.alloc(CTRL_SUB, (8,), np.float64)          # one page
+    space.alloc(CTRL_ARG, (MAX_ARGS,), np.float64)   # another page
+
+
+class OldForkJoin:
+    """Fork-join built from barriers + shared control pages (initial design)."""
+
+    def __init__(self, node: TmkNode):
+        self.node = node
+        self.is_master = node.pid == 0
+        self.sub = SharedArray(node, node.world.space[CTRL_SUB])
+        self.arg = SharedArray(node, node.world.space[CTRL_ARG])
+
+    # ---- master side ---------------------------------------------------
+
+    def fork(self, sub_id: int, params: Sequence[float] = (),
+             payload=None) -> None:
+        if payload is not None:
+            raise ValueError("the old interface cannot piggyback data")
+        if len(params) > MAX_ARGS:
+            raise ValueError("too many loop parameters")
+        self.sub.write((slice(0, 2),), [float(sub_id), float(len(params))])
+        if len(params):
+            self.arg.write((slice(0, len(params)),),
+                           np.asarray(params, dtype=np.float64))
+        _sync.barrier(self.node)     # wakes the workers
+
+    def join(self) -> None:
+        _sync.barrier(self.node)
+
+    def shutdown(self) -> None:
+        self.fork(STOP)
+
+    # ---- worker side ---------------------------------------------------
+
+    def wait_for_work(self):
+        """Block until the master forks; returns (sub_id, params) or None."""
+        _sync.barrier(self.node)     # departure releases us
+        head = self.sub.read((slice(0, 2),))      # page fault #1
+        sub_id, nargs = int(head[0]), int(head[1])
+        params = tuple(self.arg.read((slice(0, max(nargs, 1)),))[:nargs]
+                       .tolist())                  # page fault #2
+        if sub_id == STOP:
+            return None
+        return sub_id, params
+
+    def work_done(self) -> None:
+        _sync.barrier(self.node)
+
+
+class ImprovedForkJoin:
+    """Fork-join with dedicated one-to-all / all-to-one messages (Sec 2.3)."""
+
+    def __init__(self, node: TmkNode):
+        self.node = node
+        self.is_master = node.pid == 0
+        if self.is_master:
+            self._worker_seen = {w: SeenVector(node.nprocs)
+                                 for w in range(1, node.nprocs)}
+
+    # ---- master side ---------------------------------------------------
+
+    def fork(self, sub_id: int, params: Sequence[float] = (),
+             payload=None) -> None:
+        """One-to-all departure carrying control variables (and optionally a
+        piggybacked data payload, used by the hand-optimized MGS)."""
+        node = self.node
+        proc = node.env.proc
+        node.close_interval()
+        model = node.model
+        for w in range(1, node.nprocs):
+            records = records_unknown_to(node.retained_log,
+                                         self._worker_seen[w])
+            nbytes = CONTROL_BYTES + notice_payload_nbytes(
+                records, model.interval_header_bytes, model.write_notice_bytes)
+            body = (sub_id, tuple(params), records, payload)
+            if payload is not None:
+                nbytes += payload.nbytes_on_wire
+            node.net.send(proc, node.pid, w, body, tag=TAG_FORK,
+                          nbytes=nbytes, category="sync")
+            self._worker_seen[w] = node.seen.copy()
+        node.prune_log()
+        node.advance_epoch()
+
+    def join(self) -> None:
+        """All-to-one arrival: collect every worker's records."""
+        node = self.node
+        proc = node.env.proc
+        node.close_interval()
+        for _ in range(node.nprocs - 1):
+            msg = node.net.recv(proc, node.pid, tag=TAG_JOIN)
+            records, seen = msg.payload
+            node.apply_records(records, log=True)
+            w = msg.src
+            sv = SeenVector(node.nprocs)
+            sv.v = list(seen)
+            self._worker_seen[w] = sv
+
+    def shutdown(self) -> None:
+        self.fork(STOP)
+
+    # ---- worker side ---------------------------------------------------
+
+    def wait_for_work(self):
+        node = self.node
+        proc = node.env.proc
+        msg = node.net.recv(proc, node.pid, src=0, tag=TAG_FORK)
+        sub_id, params, records, payload = msg.payload
+        node.apply_records(records, log=False)
+        if payload is not None:
+            payload.install(node)
+        node.advance_epoch()
+        if sub_id == STOP:
+            return None
+        return sub_id, params
+
+    def work_done(self) -> None:
+        node = self.node
+        proc = node.env.proc
+        node.close_interval()
+        records = list(node.log_current)
+        node.prune_log()
+        nbytes = 16 + notice_payload_nbytes(
+            records, node.model.interval_header_bytes,
+            node.model.write_notice_bytes)
+        node.net.send(proc, node.pid, 0, (records, node.seen.as_tuple()),
+                      tag=TAG_JOIN, nbytes=nbytes, category="sync")
+
+
+def make_forkjoin(node: TmkNode, improved: bool = True):
+    """Factory: the interface variant under test."""
+    return ImprovedForkJoin(node) if improved else OldForkJoin(node)

@@ -1,0 +1,236 @@
+"""The global shared address space: allocation and region→page mathematics.
+
+The shared address space is a flat range of bytes divided into fixed-size
+pages.  Allocation is static (decided before a run, as with Fortran common
+blocks "loaded in a standard location"): every processor computes the same
+layout, so an :class:`ArrayHandle` is meaningful cluster-wide while the
+*backing bytes* are per-processor copies managed by the coherence protocol.
+
+The page mathematics here answer the one question the DSM needs: *which
+pages does this access touch?*  Regions are numpy basic-indexing tuples
+(ints and slices) against a C-order array; indirect (irregular) accesses
+supply explicit element indices instead.  Fast paths cover the common cases
+(contiguous row blocks; per-row spans) without per-element Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.sim.machine import PAGE_SIZE
+
+__all__ = ["ArrayHandle", "SharedSpace", "normalize_region", "region_nbytes"]
+
+Region = tuple  # tuple of ints/slices
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A statically-allocated shared array: name, placement, and shape."""
+
+    name: str
+    offset: int        # byte offset in the shared space (page aligned)
+    shape: tuple
+    dtype: np.dtype
+    space_id: int = 0
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * self.itemsize
+
+    @property
+    def first_page(self) -> int:
+        return self.offset // PAGE_SIZE
+
+    @property
+    def last_page(self) -> int:
+        return (self.offset + self.nbytes - 1) // PAGE_SIZE
+
+    def pages(self) -> range:
+        """All pages this array touches."""
+        return range(self.first_page, self.last_page + 1)
+
+    # ------------------------------------------------------------------ #
+    # region -> byte spans -> pages
+
+    def _strides(self) -> tuple:
+        """C-order strides in bytes."""
+        strides = []
+        acc = self.itemsize
+        for dim in reversed(self.shape):
+            strides.append(acc)
+            acc *= dim
+        return tuple(reversed(strides))
+
+    def region_pages(self, region: Region) -> np.ndarray:
+        """Sorted unique page numbers touched by ``region``.
+
+        ``region`` is a tuple of ints/slices, one per dimension (missing
+        trailing dimensions mean "all of them", as in numpy).
+        """
+        region = normalize_region(region, self.shape)
+        strides = self._strides()
+        # Determine the innermost dimension from which the region is a full
+        # contiguous run; everything inside collapses into one span length.
+        span = self.itemsize
+        d = len(self.shape) - 1
+        while d >= 0:
+            lo, hi = region[d]
+            if lo == 0 and hi == self.shape[d]:
+                span *= self.shape[d]
+                d -= 1
+            else:
+                span *= (hi - lo)
+                # offset of this partial dim folds into the base offsets
+                break
+        if d < 0:
+            # whole array
+            return np.arange(self.first_page, self.last_page + 1)
+        # Offsets of each "row" (combination of indices in dims [0, d)) plus
+        # the partial dim d start.
+        lo_d, _hi_d = region[d]
+        base = self.offset + lo_d * strides[d]
+        outer_offsets = np.array([0], dtype=np.int64)
+        for k in range(d):
+            lo, hi = region[k]
+            idx = np.arange(lo, hi, dtype=np.int64) * strides[k]
+            outer_offsets = (outer_offsets[:, None] + idx[None, :]).ravel()
+        starts = base + outer_offsets
+        return _pages_of_spans(starts, span)
+
+    def element_pages(self, flat_indices: Union[np.ndarray, Sequence[int]],
+                      elem_span: int = 1) -> np.ndarray:
+        """Pages touched by scattered elements (irregular/indirect access).
+
+        ``flat_indices`` are C-order flat element indices; ``elem_span``
+        widens each access to that many consecutive elements.
+        """
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        starts = self.offset + idx * self.itemsize
+        return _pages_of_spans(starts, elem_span * self.itemsize)
+
+
+def _pages_of_spans(starts: np.ndarray, span: int) -> np.ndarray:
+    """Union of pages covered by ``[s, s+span)`` for each ``s`` in ``starts``."""
+    if starts.size == 0 or span <= 0:
+        return np.empty(0, dtype=np.int64)
+    first = starts // PAGE_SIZE
+    last = (starts + span - 1) // PAGE_SIZE
+    width = int((last - first).max()) + 1
+    if width == 1:
+        return np.unique(first)
+    # Each span covers up to `width` pages; enumerate and mask the overshoot.
+    grid = first[:, None] + np.arange(width, dtype=np.int64)[None, :]
+    mask = grid <= last[:, None]
+    return np.unique(grid[mask])
+
+
+def normalize_region(region, shape: tuple) -> tuple:
+    """Canonicalize a numpy-style basic index into ``((lo, hi), ...)`` per dim.
+
+    Ints become single-element ranges; missing trailing dims become full
+    ranges; negative indices wrap; steps other than 1 are rejected (the
+    applications and compiler only generate unit-stride regions — cyclic
+    distributions are expressed as per-row index lists instead).
+    """
+    if not isinstance(region, tuple):
+        region = (region,)
+    if len(region) > len(shape):
+        raise ValueError(f"region rank {len(region)} exceeds array rank {len(shape)}")
+    out = []
+    for d, dim in enumerate(shape):
+        if d < len(region):
+            r = region[d]
+        else:
+            r = slice(None)
+        if isinstance(r, (int, np.integer)):
+            i = int(r)
+            if i < 0:
+                i += dim
+            if not (0 <= i < dim):
+                raise IndexError(f"index {r} out of bounds for dim of size {dim}")
+            out.append((i, i + 1))
+        elif isinstance(r, slice):
+            if r.step not in (None, 1):
+                raise ValueError("strided regions are not supported; "
+                                 "use element_pages for scattered access")
+            lo, hi, _ = r.indices(dim)
+            if hi < lo:
+                hi = lo
+            out.append((lo, hi))
+        else:
+            raise TypeError(f"unsupported region component {r!r}")
+    return tuple(out)
+
+
+def region_nbytes(region, shape: tuple, itemsize: int) -> int:
+    """Payload size of a region in bytes."""
+    norm = normalize_region(region, shape)
+    n = 1
+    for lo, hi in norm:
+        n *= (hi - lo)
+    return n * itemsize
+
+
+class SharedSpace:
+    """Static allocator for the global shared address space.
+
+    Allocations are page-aligned (the SPF compiler "pads shared arrays to
+    page boundaries in order to reduce false sharing"; hand-coded TreadMarks
+    programs get page-aligned allocations from ``Tmk_malloc`` as well).
+    Optionally, ``pad_to_page=False`` packs allocations back-to-back to let
+    experiments *induce* false sharing deliberately.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        if page_size != PAGE_SIZE:
+            raise ValueError("page size is fixed by the machine model")
+        self.page_size = page_size
+        self._cursor = 0
+        self.arrays: dict[str, ArrayHandle] = {}
+
+    def alloc(self, name: str, shape, dtype, pad_to_page: bool = True) -> ArrayHandle:
+        if name in self.arrays:
+            raise ValueError(f"shared array {name!r} already allocated")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in (shape if isinstance(shape, (tuple, list)) else (shape,)))
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"bad shape {shape}")
+        if pad_to_page:
+            self._cursor = _round_up(self._cursor, self.page_size)
+        else:
+            self._cursor = _round_up(self._cursor, dtype.itemsize)
+        handle = ArrayHandle(name=name, offset=self._cursor, shape=shape,
+                             dtype=dtype)
+        self._cursor += handle.nbytes
+        self.arrays[name] = handle
+        return handle
+
+    @property
+    def nbytes(self) -> int:
+        """Total allocated span, rounded up to whole pages."""
+        return _round_up(self._cursor, self.page_size)
+
+    @property
+    def npages(self) -> int:
+        return self.nbytes // self.page_size
+
+    def __getitem__(self, name: str) -> ArrayHandle:
+        return self.arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+    def handles(self) -> Iterable[ArrayHandle]:
+        return self.arrays.values()
+
+
+def _round_up(x: int, align: int) -> int:
+    return (x + align - 1) // align * align

@@ -1,0 +1,41 @@
+"""The per-node DSM request server.
+
+Real TreadMarks services remote requests (diff fetches, lock forwarding,
+barrier management) inside a SIGIO handler that interrupts the application.
+In the simulation, each node runs one daemon *server process* that receives
+every ``TAG_TMK_REQ`` message addressed to the node and dispatches it to the
+protocol/sync handlers.  The server has its own virtual-time context (the
+handler's CPU cost is charged there), while the node's main program keeps
+computing — the same overlap an interrupt handler provides.
+"""
+
+from __future__ import annotations
+
+from repro.tmk.protocol import TAG_TMK_REQ, DiffRequest, TmkNode
+from repro.tmk import sync as _sync
+
+__all__ = ["start_server"]
+
+
+def start_server(node: TmkNode):
+    """Spawn the request-server daemon for ``node``; returns the Process."""
+
+    def loop():
+        sproc = node.server_proc
+        while True:
+            msg = node.net.recv(sproc, node.pid, tag=TAG_TMK_REQ)
+            req = msg.payload
+            kind = getattr(req, "kind", None)
+            if isinstance(req, DiffRequest):
+                node.serve_diff_request(sproc, req.reply_to, req)
+            elif kind == "barrier":
+                _sync.manager_handle_arrival(node, sproc, req)
+            elif kind == "lock_req":
+                _sync.manager_handle_lock_req(node, sproc, req)
+            elif kind == "lock_fwd":
+                _sync.holder_handle_forward(node, sproc, req)
+            else:
+                raise RuntimeError(f"unknown DSM request: {req!r}")
+
+    node.server_proc = node.env.spawn_server("tmk-srv", loop)
+    return node.server_proc

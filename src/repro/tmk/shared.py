@@ -1,0 +1,101 @@
+"""User-facing shared arrays.
+
+A :class:`SharedArray` binds an :class:`~repro.tmk.pagespace.ArrayHandle` to
+one node's :class:`~repro.tmk.protocol.TmkNode`.  Access methods pair the
+real numpy operation with the coherence hook at page granularity:
+
+* :meth:`read` validates the touched pages and returns a view,
+* :meth:`writable` validates + twins the touched pages and returns a view
+  the caller may assign into,
+* :meth:`gather`/:meth:`scatter_*` do the same for irregular element sets.
+
+The *hand-coded TreadMarks* application variants use these directly; the
+SPF backend emits calls to them from its analysed loop footprints.  Either
+way the DSM sees accesses exactly where hardware page faults would occur.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tmk.pagespace import ArrayHandle
+from repro.tmk.protocol import TmkNode
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """One shared array as seen from one processor."""
+
+    def __init__(self, node: TmkNode, handle: ArrayHandle):
+        self.node = node
+        self.handle = handle
+        self._view = node.view(handle)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple:
+        return self.handle.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.handle.dtype
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    def read(self, region=...) -> np.ndarray:
+        """Validate pages under ``region`` and return the local view of it."""
+        region = self._norm(region)
+        self.node.ensure_read(self.handle, region)
+        return self._view[region]
+
+    def writable(self, region=...) -> np.ndarray:
+        """Validate + twin pages under ``region``; returns an assignable view."""
+        region = self._norm(region)
+        self.node.ensure_write(self.handle, region)
+        return self._view[region]
+
+    def write(self, region, values) -> None:
+        """Assign ``values`` into ``region`` with write detection."""
+        region = self._norm(region)
+        self.node.ensure_write(self.handle, region)
+        self._view[region] = values
+
+    def raw(self) -> np.ndarray:
+        """The uncoherent local view (tests and the runtime use this)."""
+        return self._view
+
+    # ------------------------------------------------------------------ #
+    # irregular access (indirection arrays)
+
+    def gather(self, flat_indices) -> np.ndarray:
+        """Read scattered elements (by C-order flat index)."""
+        self.node.ensure_read_elements(self.handle, flat_indices)
+        return self._view.reshape(-1)[np.asarray(flat_indices)]
+
+    def scatter_write(self, flat_indices, values) -> None:
+        """Write scattered elements (by C-order flat index)."""
+        self.node.ensure_write_elements(self.handle, flat_indices)
+        self._view.reshape(-1)[np.asarray(flat_indices)] = values
+
+    def scatter_add(self, flat_indices, values) -> None:
+        """Accumulate into scattered elements (read-modify-write)."""
+        idx = np.asarray(flat_indices)
+        self.node.ensure_write_elements(self.handle, idx)
+        np.add.at(self._view.reshape(-1), idx, values)
+
+    # ------------------------------------------------------------------ #
+
+    def _norm(self, region):
+        if region is Ellipsis:
+            return tuple(slice(None) for _ in self.handle.shape)
+        if not isinstance(region, tuple):
+            region = (region,)
+        return region
+
+    def __repr__(self) -> str:
+        return (f"SharedArray({self.handle.name!r}, shape={self.shape}, "
+                f"dtype={self.dtype}, node={self.node.pid})")

@@ -1,0 +1,47 @@
+"""DSM-level event counters (complementing the network's message counters).
+
+The paper explains performance gaps in terms of shared-memory implementation
+overheads — "twinning, diffing, and page faults".  These counters let the
+evaluation harness report those events directly, and let tests assert
+protocol behaviour (e.g. that Jacobi's interior pages never generate diff
+traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DsmStats"]
+
+
+@dataclass
+class DsmStats:
+    """Aggregate DSM protocol events, cluster-wide."""
+
+    read_faults: int = 0
+    write_faults: int = 0          # write traps on valid pages (twin creation)
+    fetches: int = 0               # remote fetch round-trips (a fault may need several)
+    twins_created: int = 0
+    diffs_created: int = 0
+    diffs_applied: int = 0
+    diff_bytes_created: int = 0
+    diff_bytes_applied: int = 0
+    full_page_fetches: int = 0     # GC fallback whole-page transfers
+    barriers: int = 0
+    lock_acquires: int = 0
+    lock_remote_acquires: int = 0
+    invalidations: int = 0
+    pushes: int = 0                # enhanced-interface data pushes
+    aggregated_validates: int = 0  # enhanced-interface bulk fetches
+    tree_reductions: int = 0       # §8 extension: tree reduction operations
+
+    def snapshot(self) -> "DsmStats":
+        return DsmStats(**vars(self))
+
+    def delta(self, earlier: "DsmStats") -> "DsmStats":
+        return DsmStats(**{k: getattr(self, k) - getattr(earlier, k)
+                           for k in vars(self)})
+
+    def summary(self) -> str:
+        parts = [f"{k}={v}" for k, v in vars(self).items() if v]
+        return "DsmStats(" + ", ".join(parts) + ")"

@@ -1,0 +1,152 @@
+"""Tests for region algebra and dependence analysis (repro.compiler.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.analysis import (access_rect, chunk_rects, loops_fusable,
+                                     rects_overlap, stmt_footprints)
+from repro.compiler.ir import (Access, ArrayDecl, Full, Irregular,
+                               ParallelLoop, Point, Program, Reduction, Span)
+
+
+def make_prog(loops, shape=(64, 16)):
+    return Program("p", arrays=[ArrayDecl("a", shape), ArrayDecl("b", shape)],
+                   body=list(loops))
+
+
+def kern(v, lo, hi):
+    return None
+
+
+def test_access_rect_affine():
+    acc = Access("a", (Span(-1, 1), Full()))
+    assert access_rect(acc, 8, 16, (64, 16)) == ((7, 17), (0, 16))
+
+
+def test_access_rect_point():
+    acc = Access("a", (Point(5),))
+    assert access_rect(acc, 0, 0, (64, 16)) == ((5, 6), (0, 16))
+
+
+def test_access_rect_irregular_is_none():
+    acc = Access("a", Irregular(lambda v, lo, hi: None))
+    assert access_rect(acc, 0, 8, (64,)) is None
+
+
+def test_rects_overlap_cases():
+    assert rects_overlap(((0, 4), (0, 4)), ((3, 8), (0, 4)))
+    assert not rects_overlap(((0, 4), (0, 4)), ((4, 8), (0, 4)))
+    assert not rects_overlap(((0, 4), (0, 2)), ((0, 4), (2, 4)))
+    # empty rects never overlap
+    assert not rects_overlap(((2, 2), (0, 4)), ((0, 4), (0, 4)))
+
+
+def test_chunk_rects_block():
+    loop = ParallelLoop("l", 64, kern,
+                        reads=[Access("a", (Span(-1, 1), Full()))])
+    prog = make_prog([loop])
+    rects = chunk_rects(loop, "reads", 1, 4, prog)
+    assert rects == {"a": [((15, 33), (0, 16))]}
+
+
+def test_chunk_rects_cyclic_bounding_interval():
+    loop = ParallelLoop("l", 64, kern, schedule="cyclic", start=10,
+                        writes=[Access("a", (Span(), Full()))])
+    prog = make_prog([loop])
+    rects = chunk_rects(loop, "writes", 2, 4, prog)
+    (row_range, _cols), = rects["a"]
+    lo, hi = row_range
+    # proc 2 owns {10, 14, ..} offset: first index >= 10 with idx%4==2
+    assert lo % 4 == 2 and lo >= 10
+    assert hi <= 64
+
+
+def test_chunk_rects_irregular_returns_none():
+    loop = ParallelLoop("l", 64, kern,
+                        reads=[Access("a", Irregular(lambda v, lo, hi: None))])
+    prog = make_prog([loop])
+    assert chunk_rects(loop, "reads", 0, 4, prog) is None
+
+
+def test_stmt_footprints_parallel_loop():
+    loop = ParallelLoop("l", 64, kern,
+                        reads=[Access("a", (Span(), Full()))],
+                        writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([loop])
+    fp = stmt_footprints(loop, prog)
+    assert fp == {"a": [((0, 64), (0, 16))], "b": [((0, 64), (0, 16))]}
+
+
+def test_fusable_independent_loops():
+    """Loop writing a, loop writing b, chunk-aligned: fusable."""
+    l1 = ParallelLoop("l1", 64, kern,
+                      reads=[Access("a", (Span(), Full()))],
+                      writes=[Access("a", (Span(), Full()))])
+    l2 = ParallelLoop("l2", 64, kern,
+                      reads=[Access("b", (Span(), Full()))],
+                      writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([l1, l2])
+    assert loops_fusable(l1, l2, 4, prog)
+
+
+def test_fusable_same_chunks_same_array():
+    """Producer/consumer on identical chunks: no cross-processor edge."""
+    l1 = ParallelLoop("l1", 64, kern, writes=[Access("a", (Span(), Full()))])
+    l2 = ParallelLoop("l2", 64, kern, reads=[Access("a", (Span(), Full()))],
+                      writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([l1, l2])
+    assert loops_fusable(l1, l2, 4, prog)
+
+
+def test_not_fusable_halo_consumer():
+    """The second loop reads a halo: neighbours' writes flow in."""
+    l1 = ParallelLoop("l1", 64, kern, writes=[Access("a", (Span(), Full()))])
+    l2 = ParallelLoop("l2", 64, kern,
+                      reads=[Access("a", (Span(-1, 1), Full()))],
+                      writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([l1, l2])
+    assert not loops_fusable(l1, l2, 4, prog)
+
+
+def test_not_fusable_anti_dependence():
+    """Jacobi's two phases: the copy writes what neighbours still read."""
+    stencil = ParallelLoop("stencil", 64, kern,
+                           reads=[Access("a", (Span(-1, 1), Full()))],
+                           writes=[Access("b", (Span(), Full()))])
+    copy = ParallelLoop("copy", 64, kern,
+                        reads=[Access("b", (Span(), Full()))],
+                        writes=[Access("a", (Span(), Full()))])
+    prog = make_prog([stencil, copy])
+    assert not loops_fusable(stencil, copy, 4, prog)
+
+
+def test_not_fusable_with_reductions():
+    l1 = ParallelLoop("l1", 64, kern, reductions=[Reduction("r")])
+    l2 = ParallelLoop("l2", 64, kern)
+    prog = make_prog([l1, l2])
+    assert not loops_fusable(l1, l2, 4, prog)
+
+
+def test_not_fusable_with_irregular():
+    l1 = ParallelLoop("l1", 64, kern,
+                      reads=[Access("a", Irregular(lambda v, lo, hi: None))])
+    l2 = ParallelLoop("l2", 64, kern)
+    prog = make_prog([l1, l2])
+    assert not loops_fusable(l1, l2, 4, prog)
+
+
+def test_not_fusable_with_accumulate():
+    l1 = ParallelLoop("l1", 64, kern, accumulate=["a"])
+    l2 = ParallelLoop("l2", 64, kern)
+    prog = make_prog([l1, l2])
+    assert not loops_fusable(l1, l2, 4, prog)
+
+
+def test_fusable_single_processor_always():
+    """With one processor there are no cross-processor edges."""
+    l1 = ParallelLoop("l1", 64, kern, writes=[Access("a", (Span(), Full()))])
+    l2 = ParallelLoop("l2", 64, kern,
+                      reads=[Access("a", (Span(-2, 2), Full()))],
+                      writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([l1, l2])
+    assert loops_fusable(l1, l2, 1, prog)

@@ -1,0 +1,271 @@
+"""Unit tests for the applications' numeric kernels.
+
+Every variant of every application reuses these kernels, so each is tested
+against an independent (loop-based or analytic) reference at small sizes,
+plus structural properties of the synthetic inputs (IGrid's map, NBF's
+partner lists) that the irregular experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import fft3d, igrid, jacobi, mgs, nbf, shallow
+
+
+# ---------------------------------------------------------------------- #
+# Jacobi
+
+def test_jacobi_init_edges_one_interior_zero():
+    u = np.empty((8, 8), np.float32)
+    jacobi.init_grid(u)
+    assert u[0].tolist() == [1.0] * 8
+    assert u[:, -1].tolist() == [1.0] * 8
+    assert u[1:-1, 1:-1].sum() == 0.0
+
+
+def test_jacobi_stencil_matches_loops():
+    rng = np.random.default_rng(0)
+    u = rng.random((10, 12)).astype(np.float32)
+    scratch = np.zeros_like(u)
+    jacobi.stencil_rows(u, scratch, 0, 10)
+    for i in range(1, 9):
+        for j in range(1, 11):
+            expect = 0.25 * (u[i - 1, j] + u[i + 1, j]
+                             + u[i, j - 1] + u[i, j + 1])
+            assert scratch[i, j] == pytest.approx(expect, rel=1e-6)
+    assert scratch[0].sum() == 0.0          # boundary rows untouched
+
+
+def test_jacobi_stencil_partial_rows_only():
+    u = np.ones((10, 12), np.float32)
+    scratch = np.zeros_like(u)
+    jacobi.stencil_rows(u, scratch, 3, 6)
+    assert scratch[3:6, 1:-1].min() == 1.0
+    assert scratch[:3].sum() == 0.0 and scratch[6:].sum() == 0.0
+
+
+def test_jacobi_copy_preserves_boundary():
+    u = np.full((6, 6), 9.0, np.float32)
+    scratch = np.zeros_like(u)
+    jacobi.copy_rows(u, scratch, 0, 6)
+    assert u[0, 0] == 9.0 and u[2, 0] == 9.0   # edges kept
+    assert u[2, 2] == 0.0                       # interior copied
+
+
+# ---------------------------------------------------------------------- #
+# Shallow
+
+def test_shallow_init_finite_and_positive_height():
+    views = {name: np.zeros((32, 32), np.float32)
+             for name in shallow.ALL_ARRAYS}
+    shallow.init_fields(views, 32)
+    assert np.isfinite(views["p"]).all()
+    assert views["p"].min() > 0
+    assert np.array_equal(views["uold"], views["u"])
+
+
+def test_shallow_steps_stable_over_iterations():
+    n = 32
+    views = {name: np.zeros((n, n), np.float32)
+             for name in shallow.ALL_ARRAYS}
+    shallow.init_fields(views, n)
+    tdt = 2.0 * shallow.DT
+    for _ in range(10):
+        shallow.step1_rows(views, 0, n, n)
+        shallow.col_wrap_rows(views, shallow.FLUX, 0, n, n)
+        shallow.row_wrap(views, shallow.FLUX, n)
+        shallow.step2_rows(views, 0, n, n, tdt)
+        shallow.col_wrap_rows(views, shallow.NEW, 0, n, n)
+        shallow.row_wrap(views, shallow.NEW, n)
+        shallow.step3_rows(views, 0, n)
+    for name in ("u", "v", "p"):
+        assert np.isfinite(views[name]).all(), name
+    assert views["p"].min() > 0        # heights stay physical
+
+
+def test_shallow_wraps_are_periodic():
+    n = 16
+    a = {name: np.arange(n * n, dtype=np.float32).reshape(n, n)
+         for name in ("cu",)}
+    shallow.row_wrap(a, ["cu"], n)
+    assert np.array_equal(a["cu"][0], a["cu"][n - 2])
+    assert np.array_equal(a["cu"][n - 1], a["cu"][1])
+    shallow.col_wrap_rows(a, ["cu"], 0, n, n)
+    assert np.array_equal(a["cu"][:, 0], a["cu"][:, n - 2])
+
+
+# ---------------------------------------------------------------------- #
+# MGS
+
+def test_mgs_produces_orthonormal_basis():
+    n = 48
+    v = np.zeros((n, n), np.float32)
+    mgs.init_vectors(v)
+    for i in range(n):
+        mgs.normalize_vector(v, i)
+        mgs.orthogonalize_rows(v, i, np.arange(i + 1, n))
+    gram = v.astype(np.float64) @ v.astype(np.float64).T
+    assert np.allclose(gram, np.eye(n), atol=1e-4)
+
+
+def test_mgs_init_well_conditioned():
+    v = np.zeros((32, 32), np.float32)
+    mgs.init_vectors(v)
+    s = np.linalg.svd(v.astype(np.float64), compute_uv=False)
+    assert s[-1] > 1.0       # far from singular: MGS is numerically safe
+
+
+def test_mgs_orthogonalize_empty_rows_noop():
+    v = np.ones((4, 4), np.float32)
+    before = v.copy()
+    mgs.orthogonalize_rows(v, 0, np.array([], dtype=np.int64))
+    assert np.array_equal(v, before)
+
+
+# ---------------------------------------------------------------------- #
+# 3-D FFT
+
+def test_fft_transpose_is_exact_permutation():
+    rng = np.random.default_rng(1)
+    a = rng.random((4, 6, 8)) + 1j * rng.random((4, 6, 8))
+    b = np.zeros((6, 4, 8), np.complex128)
+    fft3d.transpose_rows(a, b, 0, 6)
+    for j in range(6):
+        for k in range(4):
+            assert np.array_equal(b[j, k], a[k, j])
+
+
+def test_fft_forward_then_inverse_roundtrip():
+    n3, n2, n1 = 4, 8, 8
+    a = np.zeros((n3, n2, n1), np.complex128)
+    fft3d.evolve_rows(a, 0, n3, t=0)
+    orig = a.copy()
+    fft3d.fft_dim2_rows(a, 0, n3)
+    a[:] = np.fft.ifft(a, axis=2)
+    assert np.allclose(a, orig, atol=1e-12)
+
+
+def test_fft_checksum_partition_sums_to_whole():
+    rng = np.random.default_rng(2)
+    b = (rng.random((8, 4, 8)) + 1j * rng.random((8, 4, 8)))
+    whole = fft3d.checksum_rows(b, 0, 8)
+    parts = sum(fft3d.checksum_rows(b, lo, lo + 2) for lo in range(0, 8, 2))
+    assert whole == pytest.approx(parts, rel=1e-12)
+
+
+def test_fft_normalize_scales_by_size():
+    b = np.ones((4, 4, 4), np.complex128)
+    fft3d.normalize_rows(b, 0, 4)
+    assert b[0, 0, 0] == pytest.approx(1.0 / 64)
+
+
+# ---------------------------------------------------------------------- #
+# IGrid
+
+def test_igrid_map_points_at_neighbours():
+    n = 10
+    imap = igrid.build_map(n)
+    assert imap.shape == (n, n, 9)
+    # interior cell (5, 5): the 9-point neighbourhood
+    expect = sorted((5 + di) * n + (5 + dj)
+                    for di in (-1, 0, 1) for dj in (-1, 0, 1))
+    assert sorted(imap[5, 5].tolist()) == expect
+    # corners clamp instead of wrapping
+    assert imap[0, 0].min() >= 0
+    assert (imap[0, 0] < n * n).all()
+
+
+def test_igrid_update_matches_direct_stencil():
+    n = 12
+    rng = np.random.default_rng(3)
+    old = rng.random((n, n)).astype(np.float32)
+    new = np.zeros_like(old)
+    imap = igrid.build_map(n)
+    igrid.update_rows(old, new, imap, 0, n)
+    i, j = 6, 7
+    neigh = old[i - 1:i + 2, j - 1:j + 2].reshape(-1)
+    w = igrid.WEIGHTS.reshape(3, 3).reshape(-1)
+    # build_map orders di-major, matching WEIGHTS
+    assert new[i, j] == pytest.approx(float(neigh @ w), rel=1e-5)
+
+
+def test_igrid_weights_sum_to_one():
+    assert float(igrid.WEIGHTS.sum()) == pytest.approx(1.0)
+
+
+def test_igrid_square_stats_partition_consistent():
+    n = 48
+    g = np.random.default_rng(4).random((n, n)).astype(np.float32)
+    whole = igrid.square_stats_rows(g, n, 0, n)
+    parts = [igrid.square_stats_rows(g, n, lo, lo + 12)
+             for lo in range(0, n, 12)]
+    assert whole["gmax"] == max(p["gmax"] for p in parts)
+    assert whole["gmin"] == min(p["gmin"] for p in parts)
+    assert whole["gsum"] == pytest.approx(sum(p["gsum"] for p in parts))
+
+
+def test_igrid_touched_indices_are_chunk_neighbourhood():
+    n = 16
+    imap = igrid.build_map(n)
+    touched = igrid.touched_indices(imap, 4, 8)
+    rows = np.unique(touched // n)
+    assert rows.min() == 3 and rows.max() == 8   # chunk rows +- 1
+
+
+# ---------------------------------------------------------------------- #
+# NBF
+
+def test_nbf_partners_windowed_and_sorted():
+    n, P, W = 256, 8, 16
+    prt = nbf.build_partners(n, P, W)
+    assert prt.shape == (n, P)
+    idx = np.arange(n)[:, None]
+    ahead = prt - idx
+    # partners are self (padding) or within (0, W]
+    assert ((ahead == 0) | ((ahead >= 1) & (ahead <= W))).all()
+    assert (np.diff(prt.astype(int), axis=1) >= 0).all()
+
+
+def test_nbf_pair_forces_newton_third_law():
+    """Total force sums to ~zero: every pair contributes +f and -f."""
+    n = 64
+    pos = np.zeros((n, 3), np.float32)
+    nbf.init_positions(pos)
+    prt = nbf.build_partners(n, 8, 16)
+    forces = np.zeros((n, 3), np.float32)
+    nbf.pair_forces_rows(pos, prt, forces, 0, n)
+    assert np.abs(forces.sum(axis=0)).max() < 1e-3
+    assert np.abs(forces).sum() > 0
+
+
+def test_nbf_chunked_forces_equal_whole():
+    n = 64
+    pos = np.zeros((n, 3), np.float32)
+    nbf.init_positions(pos)
+    prt = nbf.build_partners(n, 8, 16)
+    whole = np.zeros((n, 3), np.float32)
+    nbf.pair_forces_rows(pos, prt, whole, 0, n)
+    parts = np.zeros((n, 3), np.float32)
+    for lo in range(0, n, 16):
+        nbf.pair_forces_rows(pos, prt, parts, lo, lo + 16)
+    assert np.allclose(parts, whole, atol=1e-5)
+
+
+def test_nbf_update_bounded():
+    n = 128
+    pos = np.zeros((n, 3), np.float32)
+    nbf.init_positions(pos)
+    prt = nbf.build_partners(n, 8, 16)
+    for _ in range(10):
+        forces = np.zeros((n, 3), np.float32)
+        nbf.pair_forces_rows(pos, prt, forces, 0, n)
+        nbf.update_rows(pos, forces, 0, n)
+    assert np.isfinite(pos).all()
+
+
+def test_nbf_touched_rows_cover_chunk_and_partners():
+    n = 128
+    prt = nbf.build_partners(n, 4, 8)
+    touched = nbf.touched_rows(prt, 32, 48)
+    assert set(range(32, 48)) <= set(touched.tolist())
+    assert touched.max() <= 48 + 8 - 1 + 1   # within the window reach

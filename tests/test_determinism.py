@@ -1,0 +1,91 @@
+"""Determinism across every layer.
+
+The conductor's ``(time, priority, seq)`` total order makes whole runs
+bit-reproducible; these tests pin that property where it matters — results,
+virtual times, message counts, byte counts, and DSM event counts must be
+identical across repeated runs of every kind of workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.spf import SpfOptions, run_spf
+from repro.compiler.xhpf import run_xhpf
+from repro.eval.experiments import run_variant
+from repro.msg import Pvme
+from repro.sim import Cluster
+from repro.tmk.api import tmk_run
+from tests.conftest import irregular_program, stencil_program
+
+
+def fingerprint(result):
+    dsm = getattr(result, "dsm_stats", None)
+    return (result.time, tuple(result.proc_times), result.stats.messages,
+            result.stats.bytes,
+            tuple(sorted((k, tuple(v))
+                         for k, v in result.stats.by_category.items())),
+            tuple(vars(dsm).values()) if dsm else None)
+
+
+def test_raw_cluster_deterministic():
+    def prog(env):
+        p = Pvme(env)
+        for i in range(10):
+            peer = (env.pid + 1) % env.nprocs
+            p.send(peer, np.arange(i + 1.0), tag=i)
+        got = [p.recv(tag=i) for i in range(10)]
+        return float(sum(g.sum() for g in got))
+
+    runs = [Cluster(nprocs=5).run(prog) for _ in range(3)]
+    assert len({fingerprint(r) for r in runs}) == 1
+    assert len({tuple(r.results) for r in runs}) == 1
+
+
+def test_dsm_program_deterministic():
+    def setup(space):
+        space.alloc("x", (16, 512), np.float32)
+
+    def prog(tmk):
+        x = tmk.array("x")
+        lo, hi = tmk.block_range(16)
+        for it in range(4):
+            cur = x.read((slice(lo, hi),)).copy()
+            x.write((slice(lo, hi),), cur + tmk.pid + it)
+            tmk.lock_acquire(it % 3)
+            tmk.lock_release(it % 3)
+            tmk.barrier()
+        return float(x.read().sum())
+
+    runs = [tmk_run(6, prog, setup) for _ in range(3)]
+    assert len({fingerprint(r) for r in runs}) == 1
+
+
+def test_compiled_backends_deterministic():
+    spf = [run_spf(stencil_program(), nprocs=4,
+                   options=SpfOptions(aggregate=True)) for _ in range(2)]
+    assert fingerprint(spf[0]) == fingerprint(spf[1])
+    xhpf = [run_xhpf(stencil_program(), nprocs=4) for _ in range(2)]
+    assert fingerprint(xhpf[0]) == fingerprint(xhpf[1])
+
+
+def test_irregular_accumulate_deterministic():
+    runs = [run_spf(irregular_program(), nprocs=4) for _ in range(2)]
+    assert fingerprint(runs[0]) == fingerprint(runs[1])
+    assert runs[0].scalars == runs[1].scalars
+
+
+@pytest.mark.parametrize("variant", ["spf", "tmk", "xhpf", "pvme"])
+def test_harness_runs_deterministic(variant):
+    a = run_variant("igrid", variant, nprocs=3, preset="test")
+    b = run_variant("igrid", variant, nprocs=3, preset="test")
+    assert (a.time, a.messages, a.kilobytes) == (b.time, b.messages,
+                                                 b.kilobytes)
+    assert a.signature == b.signature
+
+
+def test_extension_paths_deterministic():
+    opts = SpfOptions(tree_reductions=True, push_halos=True,
+                      balance_loops=True)
+    a = run_spf(stencil_program(), nprocs=5, options=opts)
+    b = run_spf(stencil_program(), nprocs=5, options=opts)
+    assert fingerprint(a) == fingerprint(b)

@@ -1,0 +1,160 @@
+"""Unit + property tests for twins and run-length diffs (repro.tmk.diffs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tmk.diffs import RUN_HEADER_BYTES, WORD, apply_diff, diff_nbytes, make_diff
+
+PAGE = 4096
+
+
+def page(fill=0):
+    return np.full(PAGE, fill, dtype=np.uint8)
+
+
+def test_identical_pages_give_empty_diff():
+    twin = page(7)
+    cur = twin.copy()
+    assert make_diff(cur, twin) == []
+
+
+def test_empty_diff_costs_nothing():
+    assert diff_nbytes([]) == 0
+
+
+def test_single_word_change():
+    twin = page(0)
+    cur = twin.copy()
+    cur[100:104] = 0xFF
+    diff = make_diff(cur, twin)
+    assert len(diff) == 1
+    off, data = diff[0]
+    assert off == 100 and len(data) == 4
+
+
+def test_word_granularity_rounding():
+    """A single changed byte produces a whole-word run."""
+    twin = page(0)
+    cur = twin.copy()
+    cur[101] = 1   # middle of word 25
+    diff = make_diff(cur, twin)
+    assert diff == [(100, cur[100:104].tobytes())]
+
+
+def test_adjacent_words_merge_into_one_run():
+    twin = page(0)
+    cur = twin.copy()
+    cur[100:112] = 5    # words 25, 26, 27
+    diff = make_diff(cur, twin)
+    assert len(diff) == 1
+    assert diff[0][0] == 100 and len(diff[0][1]) == 12
+
+
+def test_separate_runs_stay_separate():
+    twin = page(0)
+    cur = twin.copy()
+    cur[0:4] = 1
+    cur[200:204] = 2
+    cur[4092:4096] = 3
+    diff = make_diff(cur, twin)
+    assert [off for off, _ in diff] == [0, 200, 4092]
+
+
+def test_apply_restores_modified_page():
+    rng = np.random.default_rng(1)
+    twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+    cur = twin.copy()
+    cur[500:900] = rng.integers(0, 256, 400).astype(np.uint8)
+    diff = make_diff(cur, twin)
+    target = twin.copy()
+    apply_diff(target, diff)
+    assert np.array_equal(target, cur)
+
+
+def test_apply_to_third_party_base_patches_only_runs():
+    """Applying a diff changes only the modified words — the multiple-writer
+    merge property."""
+    twin = page(0)
+    cur = twin.copy()
+    cur[0:4] = 9
+    diff = make_diff(cur, twin)
+    other = page(0)
+    other[2000:2004] = 7    # concurrent disjoint modification
+    apply_diff(other, diff)
+    assert other[0] == 9 and other[2000] == 7
+
+
+def test_concurrent_disjoint_diffs_commute():
+    twin = page(0)
+    a = twin.copy()
+    a[0:400] = 1
+    b = twin.copy()
+    b[400:800] = 2
+    da = make_diff(a, twin)
+    db = make_diff(b, twin)
+    ab = twin.copy()
+    apply_diff(ab, da)
+    apply_diff(ab, db)
+    ba = twin.copy()
+    apply_diff(ba, db)
+    apply_diff(ba, da)
+    assert np.array_equal(ab, ba)
+    assert ab[0] == 1 and ab[400] == 2
+
+
+def test_diff_nbytes_counts_headers_and_payload():
+    twin = page(0)
+    cur = twin.copy()
+    cur[0:8] = 1
+    cur[100:104] = 2
+    diff = make_diff(cur, twin)
+    assert diff_nbytes(diff) == (8 + RUN_HEADER_BYTES) + (4 + RUN_HEADER_BYTES)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        make_diff(page(), np.zeros(8, np.uint8))
+
+
+def test_non_word_multiple_rejected():
+    with pytest.raises(ValueError):
+        make_diff(np.zeros(6, np.uint8), np.zeros(6, np.uint8))
+
+
+def test_out_of_range_run_rejected():
+    with pytest.raises(ValueError):
+        apply_diff(np.zeros(8, np.uint8), [(4, b"12345678")])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, PAGE // WORD - 1),
+              st.integers(0, 255)),
+    max_size=64))
+def test_roundtrip_property(changes):
+    """apply(make_diff(cur, twin), twin) == cur for arbitrary word edits."""
+    twin = np.arange(PAGE, dtype=np.uint32).view(np.uint8)[:PAGE].copy()
+    cur = twin.copy()
+    for word, val in changes:
+        cur[word * WORD:(word + 1) * WORD] = val
+    diff = make_diff(cur, twin)
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, diff)
+    assert np.array_equal(rebuilt, cur)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, PAGE // WORD - 1), st.integers(1, 64))
+def test_run_structure_property(start_word, nwords):
+    """A contiguous word-span edit yields exactly one run of that span."""
+    nwords = min(nwords, PAGE // WORD - start_word)
+    twin = page(0)
+    cur = twin.copy()
+    lo = start_word * WORD
+    hi = lo + nwords * WORD
+    cur[lo:hi] = 0xAB
+    diff = make_diff(cur, twin)
+    assert diff == [(lo, cur[lo:hi].tobytes())]
+    assert diff_nbytes(diff) == (hi - lo) + RUN_HEADER_BYTES

@@ -1,0 +1,153 @@
+"""Tests for Comm endpoints and payload sizing (repro.msg.endpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.msg.endpoint import Comm, payload_nbytes
+from repro.sim import Cluster
+
+
+def test_payload_nbytes_numpy():
+    assert payload_nbytes(np.zeros(10, np.float64)) == 80
+    assert payload_nbytes(np.zeros((4, 4), np.float32)) == 64
+
+
+def test_payload_nbytes_scalars_and_bytes():
+    assert payload_nbytes(b"abc") == 3
+    assert payload_nbytes(3) == 8
+    assert payload_nbytes(3.5) == 8
+    assert payload_nbytes(True) == 8
+    assert payload_nbytes(1 + 2j) == 16
+    assert payload_nbytes(None) == 0
+
+
+def test_payload_nbytes_containers():
+    assert payload_nbytes((1, 2.0)) == 24        # 8 + 8 + container 8
+    assert payload_nbytes([np.zeros(2, np.float64)]) == 24
+
+
+def test_payload_nbytes_unknown_type_raises():
+    with pytest.raises(TypeError):
+        payload_nbytes(object())
+
+
+def test_send_infers_numpy_size():
+    def prog(env):
+        comm = Comm(env)
+        if env.pid == 0:
+            comm.send(1, np.zeros(256, np.float32), tag=1)
+        else:
+            comm.recv(src=0, tag=1)
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.stats.bytes == 1024
+
+
+def test_segmented_transfer_message_count():
+    """A 10 KB section through a 4 KB transfer buffer = 3 messages."""
+
+    def prog(env):
+        comm = Comm(env, packet_bytes=4096)
+        if env.pid == 0:
+            comm.send(1, np.zeros(2560, np.float32), tag=1)   # 10 KB
+        else:
+            got = comm.recv(src=0, tag=1)
+            return got.shape
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.results[1] == (2560,)
+    assert r.messages == 3
+    assert r.stats.bytes == 10240
+
+
+def test_segmented_exact_multiple():
+    def prog(env):
+        comm = Comm(env, packet_bytes=4096)
+        if env.pid == 0:
+            comm.send(1, np.zeros(2048, np.float32), tag=1)   # exactly 8 KB
+        else:
+            comm.recv(src=0, tag=1)
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.messages == 2
+
+
+def test_segmented_recv_requires_source():
+    def prog(env):
+        comm = Comm(env, packet_bytes=4096)
+        if env.pid == 1:
+            with pytest.raises(ValueError):
+                comm.recv()
+
+    Cluster(nprocs=2).run(prog)
+
+
+def test_small_message_not_segmented():
+    def prog(env):
+        comm = Comm(env, packet_bytes=4096)
+        if env.pid == 0:
+            comm.send(1, b"x" * 100, tag=1)
+        else:
+            comm.recv(src=0, tag=1)
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.messages == 1
+
+
+def test_sendrecv_pairwise():
+    def prog(env):
+        comm = Comm(env)
+        peer = 1 - env.pid
+        return comm.sendrecv(peer, env.pid * 10, src=peer, tag=2)
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.results == [10, 0]
+
+
+def test_recv_msg_exposes_metadata():
+    def prog(env):
+        comm = Comm(env)
+        if env.pid == 0:
+            comm.send(1, "x", tag=17)
+        else:
+            msg = comm.recv_msg(tag=17)
+            return (msg.src, msg.tag)
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.results[1] == (0, 17)
+
+
+def test_link_serialization_fifo_per_pair():
+    """Two messages (big then small) on one src-dst pair arrive in order."""
+
+    def prog(env):
+        comm = Comm(env)
+        if env.pid == 0:
+            comm.send(1, "big", tag=1, nbytes=1_000_000)
+            comm.send(1, "small", tag=1, nbytes=8)
+        else:
+            first = comm.recv(src=0, tag=1)
+            second = comm.recv(src=0, tag=1)
+            return (first, second)
+
+    r = Cluster(nprocs=2).run(prog)
+    assert r.results[1] == ("big", "small")
+
+
+def test_receive_link_contention_serializes():
+    """Seven senders pushing 1 MB each to one node cannot all land in the
+    time one transfer takes (the FFT-transpose effect)."""
+    MB = 1_000_000
+
+    def prog(env):
+        comm = Comm(env)
+        if env.pid != 0:
+            comm.send(0, "blob", tag=1, nbytes=MB)
+        else:
+            for _ in range(env.nprocs - 1):
+                comm.recv(tag=1)
+            return env.now
+
+    r = Cluster(nprocs=8).run(prog)
+    single = MB * Cluster(nprocs=2).model.byte_time
+    assert r.results[0] >= 7 * single

@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim.engine import Deadlock, Process, SimError, Simulator
+
+
+def test_single_process_runs_to_completion():
+    sim = Simulator()
+    out = []
+    sim.add_process("p", lambda: out.append("ran"))
+    sim.run()
+    assert out == ["ran"]
+
+
+def test_hold_advances_virtual_time():
+    sim = Simulator()
+    times = []
+
+    def prog():
+        proc = sim.current
+        times.append(sim.now)
+        proc.hold(1.5)
+        times.append(sim.now)
+        proc.hold(0.25)
+        times.append(sim.now)
+
+    sim.add_process("p", prog)
+    end = sim.run()
+    assert times == [0.0, 1.5, 1.75]
+    assert end == 1.75
+
+
+def test_zero_hold_is_allowed():
+    sim = Simulator()
+
+    def prog():
+        sim.current.hold(0.0)
+
+    sim.add_process("p", prog)
+    assert sim.run() == 0.0
+
+
+def test_negative_hold_rejected():
+    sim = Simulator()
+
+    def prog():
+        sim.current.hold(-1.0)
+
+    sim.add_process("p", prog)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_processes_interleave_by_time():
+    sim = Simulator()
+    order = []
+
+    def prog(name, dt):
+        proc = sim.current
+        proc.hold(dt)
+        order.append((name, sim.now))
+
+    sim.add_process("a", prog, "a", 2.0)
+    sim.add_process("b", prog, "b", 1.0)
+    sim.add_process("c", prog, "c", 3.0)
+    sim.run()
+    assert order == [("b", 1.0), ("a", 2.0), ("c", 3.0)]
+
+
+def test_same_time_tiebreak_is_fifo_by_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def prog(name):
+        sim.current.hold(1.0)
+        order.append(name)
+
+    for name in "abcd":
+        sim.add_process(name, prog, name)
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_determinism_across_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def prog(name, dts):
+            proc = sim.current
+            for dt in dts:
+                proc.hold(dt)
+                log.append((name, sim.now))
+
+        sim.add_process("x", prog, "x", [0.5, 0.5, 1.0])
+        sim.add_process("y", prog, "y", [0.7, 0.3, 1.0])
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_park_unpark():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        proc = sim.current
+        log.append("parking")
+        proc.park()
+        log.append(("woken", sim.now))
+
+    def waker(target):
+        proc = sim.current
+        proc.hold(2.0)
+        sim.unpark(target[0], delay=0.5)
+
+    target = []
+    p = sim.add_process("sleeper", sleeper)
+    target.append(p)
+    sim.add_process("waker", waker, target)
+    sim.run()
+    assert log == ["parking", ("woken", 2.5)]
+
+
+def test_unpark_of_running_process_raises():
+    sim = Simulator()
+
+    def prog(holder):
+        with pytest.raises(SimError):
+            sim.unpark(sim.current)
+
+    sim.add_process("p", prog, None)
+    sim.run()
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+    sim.add_process("stuck", lambda: sim.current.park())
+    with pytest.raises(Deadlock):
+        sim.run()
+
+
+def test_daemon_does_not_block_completion():
+    sim = Simulator()
+
+    def daemon():
+        sim.current.park()   # parks forever
+
+    def main():
+        sim.current.hold(1.0)
+
+    sim.add_process("d", daemon, daemon=True)
+    sim.add_process("m", main)
+    assert sim.run() == 1.0
+
+
+def test_exception_in_process_propagates():
+    sim = Simulator()
+
+    def bad():
+        raise ValueError("boom")
+
+    sim.add_process("bad", bad)
+    with pytest.raises(SimError, match="boom"):
+        sim.run()
+
+
+def test_exception_reports_process_name():
+    sim = Simulator()
+
+    def bad():
+        sim.current.hold(1.0)
+        raise RuntimeError("later failure")
+
+    sim.add_process("worker-7", bad)
+    with pytest.raises(SimError, match="worker-7"):
+        sim.run()
+
+
+def test_schedule_call_runs_on_conductor():
+    sim = Simulator()
+    hits = []
+
+    def prog():
+        sim.schedule_call(3.0, lambda: hits.append(sim.now))
+        sim.current.hold(5.0)
+
+    sim.add_process("p", prog)
+    sim.run()
+    assert hits == [3.0]
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+
+    def prog():
+        for _ in range(10):
+            sim.current.hold(1.0)
+
+    sim.add_process("p", prog)
+    end = sim.run(until=3.5)
+    assert end == 3.5
+
+
+def test_process_results_captured():
+    sim = Simulator()
+
+    def prog(v):
+        sim.current.hold(1.0)
+        return v * 2
+
+    procs = [sim.add_process(f"p{i}", prog, i) for i in range(4)]
+    sim.run()
+    assert [p.result for p in procs] == [0, 2, 4, 6]
+    assert all(p.finished for p in procs)
+    assert all(p.finish_time == 1.0 for p in procs)
+
+
+def test_dynamic_process_spawn_mid_run():
+    sim = Simulator()
+    log = []
+
+    def child():
+        sim.current.hold(0.5)
+        log.append(("child", sim.now))
+
+    def parent():
+        sim.current.hold(1.0)
+        sim.add_process("child", child)
+        sim.current.hold(1.0)
+        log.append(("parent", sim.now))
+
+    sim.add_process("parent", parent)
+    sim.run()
+    assert log == [("child", 1.5), ("parent", 2.0)]
+
+
+def test_current_outside_process_context_raises():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        _ = sim.current

@@ -1,0 +1,152 @@
+"""Tests for the enhanced compiler-DSM interface (repro.tmk.enhanced)."""
+
+import numpy as np
+
+from repro.tmk import enhanced
+from repro.tmk.api import tmk_run
+
+
+def setup(space):
+    space.alloc("a", (8, 1024), np.float32)   # 8 pages
+
+
+def test_validate_equivalent_to_faulting():
+    """Aggregated validate yields the same data as page-by-page faults."""
+
+    def prog(tmk):
+        a = tmk.array("a")
+        if tmk.pid == 0:
+            a.write((slice(0, 8),), 4.0)
+        tmk.barrier()
+        if tmk.pid == 1:
+            enhanced.validate(tmk.node, a.handle, (slice(0, 8), slice(None)))
+            return float(a.raw().sum())
+
+    r = tmk_run(2, prog, setup)
+    assert r.results[1] == 4.0 * 8 * 1024
+
+
+def test_validate_one_roundtrip_per_writer():
+    """8 invalid pages from one writer: 2 messages total, not 16."""
+
+    def prog(tmk):
+        a = tmk.array("a")
+        if tmk.pid == 0:
+            a.write((slice(0, 8),), 1.0)
+        tmk.barrier()
+        if tmk.pid == 1:
+            enhanced.validate(tmk.node, a.handle, (slice(0, 8), slice(None)))
+
+    r = tmk_run(2, prog, setup)
+    assert r.stats.by_category["diff_req"][0] == 1
+    assert r.stats.by_category["diff_rep"][0] == 1
+    assert r.dsm_stats.aggregated_validates == 1
+    assert r.dsm_stats.read_faults == 0
+
+
+def test_validate_multiple_writers_batched_per_writer():
+    def prog(tmk):
+        a = tmk.array("a")
+        lo, hi = tmk.block_range(8)
+        a.write((slice(lo, hi),), float(tmk.pid + 1))
+        tmk.barrier()
+        if tmk.pid == 0:
+            enhanced.validate(tmk.node, a.handle, (slice(0, 8), slice(None)))
+            return [float(a.raw()[r, 0]) for r in range(8)]
+
+    r = tmk_run(4, prog, setup)
+    assert r.results[0] == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]
+    # one round trip per remote writer (3), issued before any access
+    assert r.stats.by_category["diff_req"][0] == 3
+
+
+def test_validate_noop_when_everything_valid():
+    def prog(tmk):
+        a = tmk.array("a")
+        enhanced.validate(tmk.node, a.handle, (slice(0, 8), slice(None)))
+
+    r = tmk_run(2, prog, setup)
+    assert r.messages == 0
+
+
+def test_push_regions_prevents_demand_fetch():
+    def prog(tmk):
+        a = tmk.array("a")
+        if tmk.pid == 0:
+            a.write((slice(0, 1),), 9.0)
+            enhanced.push_regions(tmk.node, [(a.handle, (slice(0, 1),))],
+                                  dests=[1])
+            tmk.barrier()
+        else:
+            enhanced.expect_pushes(tmk.node, 1)
+            tmk.barrier()
+            before = tmk.world.dsm_stats.read_faults
+            val = float(a.read((0, 0)))
+            faults = tmk.world.dsm_stats.read_faults - before
+            return (val, faults)
+
+    r = tmk_run(2, prog, setup)
+    assert r.results[1] == (9.0, 0)
+    assert r.dsm_stats.pushes == 1
+
+
+def test_push_carries_whole_page_modifications():
+    """Pushed data is the sender's complete per-page diff, so the receiver
+    holds exactly what a demand fetch would have built."""
+
+    def prog(tmk):
+        a = tmk.array("a")
+        if tmk.pid == 0:
+            a.write((0, slice(0, 10)), 1.0)
+            a.write((0, slice(500, 510)), 2.0)   # same page, other words
+            enhanced.push_regions(tmk.node,
+                                  [(a.handle, (0, slice(0, 10)))], [1])
+            tmk.barrier()
+        else:
+            enhanced.expect_pushes(tmk.node, 1)
+            tmk.barrier()
+            row = a.read((slice(0, 1),))[0]
+            return (float(row[0]), float(row[505]))
+
+    r = tmk_run(2, prog, setup)
+    assert r.results[1] == (1.0, 2.0)
+
+
+def test_broadcast_from_root():
+    def prog(tmk):
+        a = tmk.array("a")
+        if tmk.pid == 2:
+            a.write((slice(3, 4),), 7.5)
+        tmk.barrier()
+        if tmk.pid == 2:
+            pass  # root already current
+        enhanced.broadcast(tmk.node, a.handle, (slice(3, 4), slice(None)),
+                           root=2)
+        return float(a.raw()[3, 100])
+
+    r = tmk_run(4, prog, setup)
+    assert r.results == [7.5] * 4
+
+
+def test_broadcast_messages_n_minus_one():
+    def prog(tmk):
+        a = tmk.array("a")
+        if tmk.pid == 0:
+            a.write((slice(0, 1),), 1.0)
+        tmk.barrier()
+        enhanced.broadcast(tmk.node, a.handle, (slice(0, 1), slice(None)),
+                           root=0)
+
+    r = tmk_run(6, prog, setup)
+    assert r.stats.by_category["data"][0] == 5
+
+
+def test_push_payload_build_empty_for_clean_pages():
+    def prog(tmk):
+        a = tmk.array("a")
+        payload = enhanced.PushPayload.build(
+            tmk.node, [(a.handle, (slice(0, 1),))])
+        return payload is None
+
+    r = tmk_run(2, prog, setup)
+    assert all(r.results)

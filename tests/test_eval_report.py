@@ -1,0 +1,44 @@
+"""Tests for the report assembler (repro.eval.report) and its CLI hook."""
+
+import pathlib
+
+from repro.cli import main
+from repro.eval.report import RESULT_ORDER, assemble_report
+
+
+def test_assemble_from_directory(tmp_path):
+    (tmp_path / "table1_sequential.txt").write_text("TABLE ONE CONTENT")
+    (tmp_path / "custom_extra.txt").write_text("EXTRA CONTENT")
+    text = assemble_report(tmp_path)
+    assert "TABLE ONE CONTENT" in text
+    assert "EXTRA CONTENT" in text
+    assert "custom_extra" in text
+    assert "*(not yet run)*" in text     # the missing experiments
+
+
+def test_assemble_empty_directory(tmp_path):
+    text = assemble_report(tmp_path)
+    assert "not yet run" in text
+
+
+def test_result_order_covers_design_index():
+    names = {name for name, _title in RESULT_ORDER}
+    # every experiment family from DESIGN.md's index appears
+    for expected in ("table1_sequential", "fig1_regular_speedups",
+                     "table2_regular_traffic", "fig2_irregular_speedups",
+                     "table3_irregular_traffic", "sec23_interface",
+                     "sec7_summary", "ext_scaling", "ext_inspector"):
+        assert expected in names
+
+
+def test_cli_report(tmp_path, capsys):
+    (tmp_path / "sec7_summary.txt").write_text("SUMMARY RATIOS")
+    assert main(["report", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "SUMMARY RATIOS" in out
+    assert "# Reproduction report" in out
+
+
+def test_default_directory_is_benchmarks_results():
+    text = assemble_report()
+    assert "benchmarks" in text

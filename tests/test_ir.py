@@ -1,0 +1,137 @@
+"""Tests for the loop-nest IR (repro.compiler.ir)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import (Access, ArrayDecl, Full, Irregular, Mark,
+                               ParallelLoop, Point, Program, Reduction,
+                               SeqBlock, Span, TimeLoop)
+
+
+def test_span_resolves_with_clipping():
+    s = Span(-1, 1)
+    assert s.resolve(0, 4, 16) == slice(0, 5)
+    assert s.resolve(12, 16, 16) == slice(11, 16)
+    assert Span().resolve(2, 6, 16) == slice(2, 6)
+
+
+def test_full_and_point():
+    assert Full().resolve(3, 5, 10) == slice(0, 10)
+    assert Point(4).resolve(0, 0, 10) == 4
+    assert Point(-1).resolve(0, 0, 10) == 9
+    assert Point(lambda lo, hi: lo + 1).resolve(5, 9, 10) == 6
+
+
+def test_access_resolve_fills_trailing_dims():
+    acc = Access("a", (Span(),))
+    assert acc.resolve(2, 4, (8, 16)) == (slice(2, 4), slice(0, 16))
+
+
+def test_access_resolve_rank_check():
+    acc = Access("a", (Span(), Full(), Full()))
+    with pytest.raises(ValueError):
+        acc.resolve(0, 1, (8,))
+
+
+def test_irregular_access_flagged():
+    acc = Access("a", Irregular(lambda v, lo, hi: np.array([0])))
+    assert acc.irregular
+    with pytest.raises(TypeError):
+        acc.resolve(0, 1, (8,))
+
+
+def test_array_decl_normalizes_shape():
+    d = ArrayDecl("a", (np.int64(4), 8.0 if False else 8))
+    assert d.shape == (4, 8)
+
+
+def test_array_decl_rejects_bad_dist_kind():
+    with pytest.raises(ValueError):
+        ArrayDecl("a", (4,), dist_kind="diagonal")
+
+
+def test_reduction_ops():
+    assert Reduction("r", "sum").combine(2, 3) == 5
+    assert Reduction("r", "max").combine(2, 3) == 3
+    assert Reduction("r", "min").combine(2, 3) == 2
+    assert Reduction("r", "sum").identity == 0.0
+    assert Reduction("r", "max").identity == -np.inf
+    with pytest.raises(ValueError):
+        Reduction("r", "xor").combine(1, 2)
+
+
+def test_parallel_loop_chunk_cost():
+    loop = ParallelLoop("l", 10, lambda v, lo, hi: None, cost_per_iter=2.0)
+    assert loop.chunk_cost(3, 7) == 8.0
+    loop2 = ParallelLoop("l", 10, lambda v, lo, hi: None,
+                         cost_per_iter=lambda i: float(i))
+    assert loop2.chunk_cost(2, 5) == 2 + 3 + 4
+
+
+def test_timeloop_static_and_factory_bodies():
+    loop_a = ParallelLoop("a", 4, lambda v, lo, hi: None)
+    static = TimeLoop("t", 3, [loop_a])
+    assert static.stmts_at(0) == [loop_a]
+    factory = TimeLoop("t", 3, lambda t: [ParallelLoop(f"l{t}", 4,
+                                                       lambda v, lo, hi: None)])
+    assert factory.stmts_at(2)[0].name == "l2"
+
+
+def _tiny_program(**kw):
+    return Program(
+        "p",
+        arrays=[ArrayDecl("a", (8, 8))],
+        body=[SeqBlock("init", lambda v: None,
+                       writes=[Access("a", (Full(), Full()))]),
+              Mark("start"),
+              TimeLoop("t", 2, [ParallelLoop(
+                  "work", 8, lambda v, lo, hi: None,
+                  reads=[Access("a", (Span(),))],
+                  writes=[Access("a", (Span(),))])]),
+              Mark("stop")],
+        **kw)
+
+
+def test_flat_statements_unrolls_timeloops():
+    prog = _tiny_program()
+    stmts = list(prog.flat_statements())
+    names = [getattr(s, "name", getattr(s, "label", None)) for s in stmts]
+    assert names == ["init", "start", "work", "work", "stop"]
+
+
+def test_parallel_loops_iterator():
+    prog = _tiny_program()
+    assert len(list(prog.parallel_loops())) == 2
+
+
+def test_decl_lookup():
+    prog = _tiny_program()
+    assert prog.decl("a").shape == (8, 8)
+    with pytest.raises(KeyError):
+        prog.decl("zzz")
+
+
+def test_validate_catches_undeclared_access():
+    prog = Program(
+        "bad", arrays=[ArrayDecl("a", (4,))],
+        body=[SeqBlock("s", lambda v: None,
+                       reads=[Access("ghost", (Full(),))])])
+    with pytest.raises(ValueError, match="ghost"):
+        prog.validate()
+
+
+def test_validate_catches_bad_extent():
+    prog = Program(
+        "bad", arrays=[ArrayDecl("a", (4,))],
+        body=[ParallelLoop("l", 0, lambda v, lo, hi: None)])
+    with pytest.raises(ValueError, match="extent"):
+        prog.validate()
+
+
+def test_validate_catches_undeclared_accumulate():
+    prog = Program(
+        "bad", arrays=[ArrayDecl("a", (4,))],
+        body=[ParallelLoop("l", 4, lambda v, lo, hi: None,
+                           accumulate=["ghost"])])
+    with pytest.raises(ValueError, match="accumulate"):
+        prog.validate()

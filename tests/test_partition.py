@@ -1,0 +1,66 @@
+"""Tests for BLOCK/CYCLIC partitioning (repro.compiler.partition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.partition import (block_owner, block_range, chunk_of,
+                                      cyclic_indices, cyclic_owner)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 500), st.integers(1, 16))
+def test_block_ranges_partition_exactly(extent, nprocs):
+    """Block chunks are disjoint, ordered, and cover [0, extent)."""
+    spans = [block_range(extent, nprocs, p) for p in range(nprocs)]
+    assert spans[0][0] == 0
+    assert spans[-1][1] == extent
+    for (a, b), (c, d) in zip(spans, spans[1:]):
+        assert b == c
+    sizes = [hi - lo for lo, hi in spans]
+    assert max(sizes) - min(sizes) <= 1     # balanced
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 500), st.integers(1, 16), st.integers(0, 499))
+def test_block_owner_consistent_with_range(extent, nprocs, index):
+    index = index % extent
+    owner = block_owner(extent, nprocs, index)
+    lo, hi = block_range(extent, nprocs, owner)
+    assert lo <= index < hi
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 300), st.integers(1, 12), st.integers(0, 50))
+def test_cyclic_indices_partition_exactly(extent, nprocs, start):
+    start = min(start, extent)
+    all_indices = np.concatenate(
+        [cyclic_indices(extent, nprocs, p, start) for p in range(nprocs)])
+    assert sorted(all_indices.tolist()) == list(range(start, extent))
+
+
+def test_cyclic_owner():
+    assert cyclic_owner(0, 4) == 0
+    assert cyclic_owner(7, 4) == 3
+
+
+def test_cyclic_indices_respect_start():
+    idx = cyclic_indices(16, 4, 1, start=5)
+    assert idx.tolist() == [5, 9, 13]
+    idx0 = cyclic_indices(16, 4, 0, start=5)
+    assert idx0.tolist() == [8, 12]
+
+
+def test_chunk_of_dispatch():
+    assert chunk_of("block", 10, 2, 0) == (0, 5)
+    assert chunk_of("cyclic", 10, 2, 1).tolist() == [1, 3, 5, 7, 9]
+    with pytest.raises(ValueError):
+        chunk_of("diagonal", 10, 2, 0)
+
+
+def test_more_procs_than_work():
+    spans = [block_range(3, 8, p) for p in range(8)]
+    nonempty = [s for s in spans if s[1] > s[0]]
+    assert len(nonempty) == 3
+    assert spans[-1] == (3, 3)

@@ -1,0 +1,156 @@
+"""Tests for the SPF shared-memory backend (repro.compiler.spf)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.common import signatures_close
+from repro.compiler.seq import run_sequential
+from repro.compiler.spf import (REDUCTION_PREFIX, STAGING_PREFIX, SpfOptions,
+                                compile_spf, run_spf)
+from repro.tmk.pagespace import SharedSpace
+from tests.conftest import irregular_program, stencil_program, triangular_program
+
+
+def scalars_of(prog, nprocs=4, options=None, **kw):
+    return run_spf(prog, nprocs=nprocs, options=options, **kw).scalars
+
+
+def test_matches_sequential_stencil():
+    prog = stencil_program()
+    _v, seq, _t = run_sequential(stencil_program())
+    for n in (1, 2, 3, 4, 7):
+        got = scalars_of(stencil_program(), nprocs=n)
+        assert got["sum"] == pytest.approx(seq["sum"], rel=1e-6), f"n={n}"
+
+
+def test_matches_sequential_irregular():
+    _v, seq, _t = run_sequential(irregular_program())
+    for n in (2, 4, 5):
+        got = scalars_of(irregular_program(), nprocs=n)
+        assert got["k"] == pytest.approx(seq["k"], rel=1e-9), f"n={n}"
+
+
+def test_matches_sequential_triangular():
+    views, _s, _t = run_sequential(triangular_program())
+    expect = float(np.abs(views["v"]).sum(dtype=np.float64))
+
+    def check_kernel_output(n):
+        prog = triangular_program()
+        from repro.apps.common import append_signature_loops
+        append_signature_loops(prog, ["v"])
+        got = scalars_of(prog, nprocs=n)
+        assert got["sig_v"] == pytest.approx(expect, rel=1e-5), f"n={n}"
+
+    for n in (2, 4):
+        check_kernel_output(n)
+
+
+def test_all_arrays_allocated_shared_and_padded():
+    """SPF policy: every array in shared memory, page aligned; reduction
+    scalars get their own pages."""
+    exe = compile_spf(stencil_program(), nprocs=4)
+    space = SharedSpace()
+    exe.setup_space(space)
+    assert "a" in space and "b" in space
+    assert space["a"].offset % 4096 == 0
+    assert space["b"].offset % 4096 == 0
+    assert (REDUCTION_PREFIX + "sum") in space
+
+
+def test_accumulate_allocates_staging():
+    exe = compile_spf(irregular_program(), nprocs=4)
+    space = SharedSpace()
+    exe.setup_space(space)
+    assert (STAGING_PREFIX + "forces") in space
+    assert space[STAGING_PREFIX + "forces"].shape[0] == 4
+
+
+def test_accumulate_inserts_merge_unit():
+    exe = compile_spf(irregular_program(), nprocs=4)
+    merge_units = [u for u in exe.units
+                   if u.loops and ".merge[" in u.loops[0].name]
+    force_units = [u for u in exe.units
+                   if u.loops and u.loops[0].name == "forces"]
+    assert len(merge_units) == len(force_units) > 0
+
+
+def test_old_interface_allocates_control_pages():
+    exe = compile_spf(stencil_program(),
+                      options=SpfOptions(improved_interface=False))
+    space = SharedSpace()
+    exe.setup_space(space)
+    assert "__fj_sub" in space and "__fj_arg" in space
+    assert space["__fj_sub"].first_page != space["__fj_arg"].first_page
+
+
+def test_fusion_planning_obeys_dependence():
+    """Stencil/copy must not fuse (anti-dependence); the plan shows it."""
+    exe = compile_spf(stencil_program(), nprocs=4,
+                      options=SpfOptions(fuse_loops=True))
+    for unit in exe.units:
+        assert len(unit.loops) <= 1
+
+
+def test_fusion_merges_independent_loops():
+    from repro.compiler.ir import (Access, ArrayDecl, ParallelLoop, Program,
+                                   Span, Full)
+
+    def k(v, lo, hi):
+        v["a"][lo:hi] += 1
+
+    def k2(v, lo, hi):
+        v["b"][lo:hi] += 1
+
+    prog = Program("p", arrays=[ArrayDecl("a", (16, 8)),
+                                ArrayDecl("b", (16, 8))],
+                   body=[ParallelLoop("l1", 16, k,
+                                      writes=[Access("a", (Span(), Full()))]),
+                         ParallelLoop("l2", 16, k2,
+                                      writes=[Access("b", (Span(), Full()))])])
+    fused = compile_spf(prog, nprocs=4, options=SpfOptions(fuse_loops=True))
+    assert len([u for u in fused.units if u.loops]) == 1
+    plain = compile_spf(prog, nprocs=4)
+    assert len([u for u in plain.units if u.loops]) == 2
+    # and fusing halves the fork-join messages
+    r_fused = run_spf(prog, nprocs=4, options=SpfOptions(fuse_loops=True))
+    r_plain = run_spf(prog, nprocs=4)
+    assert r_fused.stats.by_category["sync"][0] < \
+        r_plain.stats.by_category["sync"][0]
+
+
+def test_aggregate_reduces_messages_same_answer():
+    base = run_spf(stencil_program(), nprocs=4)
+    agg = run_spf(stencil_program(), nprocs=4,
+                  options=SpfOptions(aggregate=True))
+    assert agg.scalars["sum"] == pytest.approx(base.scalars["sum"], rel=1e-6)
+    assert agg.messages < base.messages
+    assert agg.dsm_stats.aggregated_validates > 0
+
+
+def test_old_interface_more_messages_same_answer():
+    base = run_spf(stencil_program(), nprocs=4)
+    old = run_spf(stencil_program(), nprocs=4,
+                  options=SpfOptions(improved_interface=False))
+    assert old.scalars["sum"] == pytest.approx(base.scalars["sum"], rel=1e-6)
+    assert old.messages > base.messages
+    assert old.time > base.time
+
+
+def test_master_holds_final_reduction_values():
+    r = run_spf(stencil_program(), nprocs=4)
+    assert r.results[0] == r.scalars
+    assert all(res == {} for res in r.results[1:])
+
+
+def test_options_describe():
+    assert SpfOptions().describe() == "improved"
+    assert "aggregate" in SpfOptions(aggregate=True).describe()
+    assert "original" in SpfOptions(improved_interface=False).describe()
+
+
+def test_deterministic_replay():
+    a = run_spf(stencil_program(), nprocs=4)
+    b = run_spf(stencil_program(), nprocs=4)
+    assert a.time == b.time
+    assert a.messages == b.messages
+    assert a.kilobytes == b.kilobytes
