@@ -6,6 +6,7 @@ Commands
 ``compare APP``          run all four variants of one application
 ``figures``              regenerate the paper's figures/tables (bench sizes)
 ``explain APP``          print both compilers' compilation reports
+``racecheck APP VARIANT``  fuzz schedules + happens-before race detection
 ``list``                 list applications, variants and presets
 
 Examples::
@@ -13,6 +14,7 @@ Examples::
     python -m repro run igrid spf -n 8 --preset bench
     python -m repro compare jacobi --preset test
     python -m repro explain mgs
+    python -m repro racecheck igrid spf --seeds 5
     python -m repro figures
 """
 
@@ -104,6 +106,21 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_racecheck(args) -> int:
+    from repro.compiler.report import source_lookup
+    from repro.eval.racecheck import racecheck_app
+
+    report = racecheck_app(args.app, args.variant, seeds=args.seeds,
+                           nprocs=args.nprocs, preset=args.preset)
+    lookup = None
+    if args.variant.startswith("spf"):
+        spec = get_app(args.app)
+        lookup = source_lookup(spec.build_program(spec.params(args.preset)),
+                               nprocs=args.nprocs)
+    print(report.format(lookup))
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.eval.report import assemble_report
     print(assemble_report(args.results_dir))
@@ -150,6 +167,20 @@ def main(argv=None) -> int:
                    help="show the hand-optimized SPF configuration")
     _add_common(p)
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser(
+        "racecheck",
+        help="schedule-fuzz a DSM variant and report data races")
+    p.add_argument("app", choices=APPS)
+    p.add_argument("variant", choices=["spf", "spf_opt", "spf_old", "tmk"])
+    p.add_argument("--seeds", type=int, default=5,
+                   help="number of schedule seeds to fuzz (default 5)")
+    p.add_argument("-n", "--nprocs", type=int, default=8)
+    p.add_argument("--preset", default="test",
+                   choices=["paper", "bench", "test"],
+                   help="problem size preset (default test: the harness "
+                        "runs the app once per seed)")
+    p.set_defaults(fn=cmd_racecheck)
 
     p = sub.add_parser("list", help="list applications and variants")
     p.set_defaults(fn=cmd_list)

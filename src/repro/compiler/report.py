@@ -19,7 +19,8 @@ from repro.compiler.ir import ParallelLoop, Program, SeqBlock
 from repro.compiler.spf import SpfExecutable, SpfOptions, compile_spf
 from repro.compiler.xhpf import XhpfExecutable, XhpfOptions, compile_xhpf
 
-__all__ = ["spf_report", "xhpf_report", "footprint_report"]
+__all__ = ["spf_report", "xhpf_report", "footprint_report",
+           "source_lookup"]
 
 
 def _rect_str(rects: Optional[dict]) -> str:
@@ -45,6 +46,48 @@ def footprint_report(loop: ParallelLoop, nprocs: int,
         lines.append(f"  p{pid}: reads {_rect_str(reads)}  "
                      f"writes {_rect_str(writes)}")
     return "\n".join(lines)
+
+
+def source_lookup(program: Program, nprocs: int = 8,
+                  options: Optional[SpfOptions] = None) -> dict:
+    """IR-level descriptions for the race detector's source tags.
+
+    The SPF backend tags every DSM access it emits with
+    ``"<unit name>:<array>"``; this maps each tag back to what the
+    compiler knows about the access (statement kind, schedule, extent,
+    direction) so a race report can point at source-level constructs
+    instead of page numbers.  Hand-coded Tmk programs use the
+    :class:`~repro.tmk.shared.SharedArray` default tags
+    (``"<array>.read"`` etc.), which need no lookup.
+    """
+    exe = compile_spf(program, nprocs, options)
+    kinds: dict = {}
+
+    def note(tag: str, what: str) -> None:
+        kinds.setdefault(tag, []).append(what)
+
+    for unit in exe.units:
+        for stmt in ([unit.seq] if unit.seq else []):
+            where = f"sequential block {stmt.name!r} (master only)"
+            for acc in stmt.reads:
+                note(f"{stmt.name}:{acc.array}", f"read in {where}")
+            for acc in stmt.writes:
+                note(f"{stmt.name}:{acc.array}", f"write in {where}")
+        for loop in unit.loops or []:
+            where = (f"parallel loop {loop.name!r} "
+                     f"[{loop.start}, {loop.extent}) {loop.schedule}")
+            for acc in loop.reads:
+                note(f"{loop.name}:{acc.array}", f"read in {where}")
+            for acc in loop.writes:
+                note(f"{loop.name}:{acc.array}", f"write in {where}")
+            for name in loop.accumulate:
+                note(f"{loop.name}:__acc_{name}",
+                     f"staged accumulation of {name!r} in {where}")
+            for red in loop.reductions:
+                note(f"{loop.name}:__red_{red.name}",
+                     f"lock-folded reduction {red.name!r} in {where}")
+    return {tag: "; ".join(dict.fromkeys(what))
+            for tag, what in kinds.items()}
 
 
 def spf_report(program: Program, nprocs: int = 8,

@@ -369,9 +369,9 @@ class SpfExecutable:
 
     def _run_seq(self, tmk: Tmk, stmt: SeqBlock, views: dict) -> None:
         for acc in stmt.reads:
-            self._ensure(tmk, acc, 0, 0, views, write=False)
+            self._ensure(tmk, acc, 0, 0, views, write=False, tag=stmt.name)
         for acc in stmt.writes:
-            self._ensure(tmk, acc, 0, 0, views, write=True)
+            self._ensure(tmk, acc, 0, 0, views, write=True, tag=stmt.name)
         stmt.kernel(views)
         cost = stmt.cost(self.program.params) if callable(stmt.cost) \
             else float(stmt.cost)
@@ -399,9 +399,11 @@ class SpfExecutable:
                 cost = 0.0
             else:
                 for acc in _ensure_order(loop.reads, loop.accumulate):
-                    self._ensure_cyclic(tmk, acc, indices, views, write=False)
+                    self._ensure_cyclic(tmk, acc, indices, views,
+                                        write=False, tag=loop.name)
                 for acc in _ensure_order(loop.writes, loop.accumulate):
-                    self._ensure_cyclic(tmk, acc, indices, views, write=True)
+                    self._ensure_cyclic(tmk, acc, indices, views,
+                                        write=True, tag=loop.name)
                 partials = loop.kernel(views, indices)
                 cost = (sum(loop.cost_per_iter(int(i)) for i in indices)
                         if callable(loop.cost_per_iter)
@@ -413,9 +415,11 @@ class SpfExecutable:
                 cost = 0.0
             else:
                 for acc in _ensure_order(loop.reads, loop.accumulate):
-                    self._ensure(tmk, acc, lo, hi, views, write=False)
+                    self._ensure(tmk, acc, lo, hi, views,
+                                 write=False, tag=loop.name)
                 for acc in _ensure_order(loop.writes, loop.accumulate):
-                    self._ensure(tmk, acc, lo, hi, views, write=True)
+                    self._ensure(tmk, acc, lo, hi, views,
+                                 write=True, tag=loop.name)
                 partials = loop.kernel(views, lo, hi)
                 cost = loop.chunk_cost(lo, hi)
         if cost:
@@ -469,7 +473,8 @@ class SpfExecutable:
             row_elems = int(np.prod(buf.shape[1:])) if buf.ndim > 1 else 1
             base = tmk.pid * buf.shape[0]
             tmk.node.ensure_write_elements(
-                handle, (base + touched) * row_elems, elem_span=row_elems)
+                handle, (base + touched) * row_elems, elem_span=row_elems,
+                source=f"{loop.name}:{STAGING_PREFIX}{name}")
             staging_view = tmk.array(STAGING_PREFIX + name).raw()
             staging_view[tmk.pid, touched] = buf[touched]
 
@@ -479,34 +484,36 @@ class SpfExecutable:
         return tmk._spf_prev_touched
 
     def _ensure(self, tmk: Tmk, acc, lo: int, hi: int, views: dict,
-                write: bool) -> None:
+                write: bool, tag: str = "?") -> None:
         handle = tmk.world.space[acc.array]
         node = tmk.node
+        source = f"{tag}:{acc.array}"
         if acc.irregular:
             idx = acc.region.footprint(views, lo, hi)
             if write:
-                node.ensure_write_elements(handle, idx)
+                node.ensure_write_elements(handle, idx, source=source)
             else:
-                node.ensure_read_elements(handle, idx)
+                node.ensure_read_elements(handle, idx, source=source)
             return
         region = acc.resolve(lo, hi, handle.shape)
         if self.options.aggregate and not write:
-            enhanced.validate(node, handle, region)
+            enhanced.validate(node, handle, region, source=source)
         elif write:
-            node.ensure_write(handle, region)
+            node.ensure_write(handle, region, source=source)
         else:
-            node.ensure_read(handle, region)
+            node.ensure_read(handle, region, source=source)
 
     def _ensure_cyclic(self, tmk: Tmk, acc, indices: np.ndarray, views: dict,
-                       write: bool) -> None:
+                       write: bool, tag: str = "?") -> None:
         handle = tmk.world.space[acc.array]
         node = tmk.node
+        source = f"{tag}:{acc.array}"
         if acc.irregular:
             idx = acc.region.footprint(views, indices, None)
             if write:
-                node.ensure_write_elements(handle, idx)
+                node.ensure_write_elements(handle, idx, source=source)
             else:
-                node.ensure_read_elements(handle, idx)
+                node.ensure_read_elements(handle, idx, source=source)
             return
         dims = acc.region
         lead = dims[0] if dims else None
@@ -516,17 +523,19 @@ class SpfExecutable:
             row_elems = int(np.prod(handle.shape[1:])) if len(handle.shape) > 1 else 1
             flat = indices * row_elems
             if write:
-                node.ensure_write_elements(handle, flat, elem_span=row_elems)
+                node.ensure_write_elements(handle, flat, elem_span=row_elems,
+                                           source=source)
             else:
-                node.ensure_read_elements(handle, flat, elem_span=row_elems)
+                node.ensure_read_elements(handle, flat, elem_span=row_elems,
+                                          source=source)
         else:
             # Point/Full leading dims behave like a regular region
             region = acc.resolve(int(indices.min()), int(indices.max()) + 1,
                                  handle.shape)
             if write:
-                node.ensure_write(handle, region)
+                node.ensure_write(handle, region, source=source)
             else:
-                node.ensure_read(handle, region)
+                node.ensure_read(handle, region, source=source)
 
     def _fold_reductions(self, tmk: Tmk, loop: ParallelLoop,
                          partials) -> None:
@@ -542,9 +551,11 @@ class SpfExecutable:
             val = (partials or {}).get(red.name, red.identity)
             _red, lock_id = self.reductions[red.name]
             shared = tmk.array(REDUCTION_PREFIX + red.name)
+            source = f"{loop.name}:{REDUCTION_PREFIX}{red.name}"
             tmk.lock_acquire(lock_id)
-            cur = float(shared.read((slice(0, 1),))[0])
-            shared.write((slice(0, 1),), red.combine(cur, val))
+            cur = float(shared.read((slice(0, 1),), source=source)[0])
+            shared.write((slice(0, 1),), red.combine(cur, val),
+                         source=source)
             tmk.lock_release(lock_id)
 
     def _read_scalars(self, tmk: Tmk) -> dict:
@@ -565,7 +576,9 @@ def compile_spf(program: Program, nprocs: int = 8,
 def run_spf(program: Program, nprocs: int = 8,
             options: Optional[SpfOptions] = None,
             model: Optional[MachineModel] = None,
-            gc_epochs: Optional[int] = 8) -> RunResult:
+            gc_epochs: Optional[int] = 8,
+            schedule_seed: Optional[int] = None,
+            racecheck: bool = False) -> RunResult:
     """Compile and run; scalars land in ``result.scalars``."""
     exe = compile_spf(program, nprocs, options)
 
@@ -575,6 +588,7 @@ def run_spf(program: Program, nprocs: int = 8,
     def main(tmk: Tmk):
         return exe.run_on(tmk)
 
-    result = tmk_run(nprocs, main, setup, model=model, gc_epochs=gc_epochs)
+    result = tmk_run(nprocs, main, setup, model=model, gc_epochs=gc_epochs,
+                     schedule_seed=schedule_seed, racecheck=racecheck)
     result.scalars = result.results[0]
     return result

@@ -4,6 +4,7 @@ regenerates each table and figure of the paper (see DESIGN.md §4)."""
 from repro.eval.constants import PAPER, PaperNumbers
 from repro.eval.experiments import (VariantResult, run_variant,
                                     run_all_variants, VARIANTS)
+from repro.eval.racecheck import RacecheckReport, SeedRun, racecheck_app
 from repro.eval.tables import (format_table1, format_speedup_figure,
                                format_traffic_table, format_comparison)
 
@@ -14,6 +15,9 @@ __all__ = [
     "run_variant",
     "run_all_variants",
     "VARIANTS",
+    "RacecheckReport",
+    "SeedRun",
+    "racecheck_app",
     "format_table1",
     "format_speedup_figure",
     "format_traffic_table",

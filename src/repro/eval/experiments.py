@@ -54,6 +54,7 @@ class VariantResult:
     total_messages: int = 0      # whole run, startup included
     total_kilobytes: float = 0.0
     categories: dict = field(default_factory=dict)   # window, per category
+    races: Optional[object] = None   # RaceCheckResult when racecheck=True
 
     @property
     def speedup(self) -> float:
@@ -73,15 +74,32 @@ def _seq_result(spec: AppSpec, params: dict, preset: str) -> VariantResult:
                          messages=0, kilobytes=0.0, signature=dict(scalars))
 
 
+DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
+
+
 def run_variant(app: str, variant: str, nprocs: int = 8,
                 preset: str = "bench",
                 model: Optional[MachineModel] = None,
                 seq_time: Optional[float] = None,
                 spf_options: Optional[SpfOptions] = None,
-                gc_epochs: Optional[int] = 8) -> VariantResult:
-    """Run one (application, variant) pair and collect its metrics."""
+                gc_epochs: Optional[int] = 8,
+                schedule_seed: Optional[int] = None,
+                racecheck: bool = False) -> VariantResult:
+    """Run one (application, variant) pair and collect its metrics.
+
+    ``schedule_seed`` perturbs same-timestamp event ordering in the
+    simulator (any variant).  ``racecheck=True`` attaches the
+    happens-before :class:`~repro.tmk.racecheck.RaceMonitor` and stores
+    its verdict in ``.races`` — only meaningful for the DSM variants
+    (``spf``/``spf_opt``/``spf_old``/``tmk``); message-passing variants
+    share nothing, so asking for it there is an error.
+    """
     spec = get_app(app)
     params = spec.params(preset)
+    if racecheck and variant not in DSM_VARIANTS:
+        raise ValueError(
+            f"racecheck applies to the DSM variants {DSM_VARIANTS}, not "
+            f"{variant!r} (message-passing variants have no shared memory)")
     if variant == "seq":
         return _seq_result(spec, params, preset)
     if seq_time is None:
@@ -100,7 +118,8 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
             options = spf_options or SpfOptions()
         program = spec.build_program(params)
         result = run_spf(program, nprocs=nprocs, options=options,
-                         model=model, gc_epochs=gc_epochs)
+                         model=model, gc_epochs=gc_epochs,
+                         schedule_seed=schedule_seed, racecheck=racecheck)
         signature = dict(result.scalars)
         dsm = result.dsm_stats
     elif variant in ("xhpf", "xhpf_ie"):
@@ -108,7 +127,7 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
         program = spec.build_program(params)
         options = XhpfOptions(inspector_executor=(variant == "xhpf_ie"))
         result = run_xhpf(program, nprocs=nprocs, model=model,
-                          options=options)
+                          options=options, schedule_seed=schedule_seed)
         signature = dict(result.scalars)
         dsm = None
     elif variant == "tmk":
@@ -119,11 +138,13 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
             return spec.hand_tmk(tmk, params)
 
         result = tmk_run(nprocs, main, setup, model=model,
-                         gc_epochs=gc_epochs)
+                         gc_epochs=gc_epochs,
+                         schedule_seed=schedule_seed, racecheck=racecheck)
         signature = combine_signatures(result.results)
         dsm = result.dsm_stats
     elif variant == "pvme":
-        cluster = Cluster(nprocs=nprocs, model=model)
+        cluster = Cluster(nprocs=nprocs, model=model,
+                          schedule_seed=schedule_seed)
 
         def pvme_main(env):
             return spec.hand_pvme(Pvme(env), params)
@@ -144,6 +165,7 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
         total_kilobytes=result.kilobytes,
         categories={k: (v[0], v[1])
                     for k, v in wtraffic.by_category.items()},
+        races=getattr(result, "racecheck", None),
     )
 
 

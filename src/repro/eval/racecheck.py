@@ -1,0 +1,243 @@
+"""Schedule-fuzzing race-check harness over the paper's applications.
+
+The protocol proof obligations are: (a) every legal interleaving of the
+DSM protocol computes the same answer, and (b) no application contains a
+data race under the happens-before order the synchronization operations
+induce.  :func:`racecheck_app` discharges both empirically: it runs one
+(application, DSM variant) pair under ``K`` different ``schedule_seed``
+values — each seed permutes same-timestamp event ordering in the
+simulator, i.e. picks a distinct legal interleaving — with the
+:class:`~repro.tmk.racecheck.RaceMonitor` attached, then
+
+* asserts the coherent final contents of every application array are
+  **bit-identical across all seeds** (hashes of a post-run, barrier-
+  ordered readback on processor 0),
+* compares those arrays against the sequential oracle (bitwise, with an
+  ``allclose`` fallback for arrays whose combining order legitimately
+  differs from the sequential one, e.g. staged accumulations),
+* compares reduction scalars against the oracle with the usual
+  signature tolerance (lock-folded reductions combine in schedule
+  order, so scalars are *close*, not bit-stable, across seeds), and
+* reports every true race and false-sharing pair the monitor found.
+
+Command line: ``python -m repro racecheck <app> <variant> --seeds K``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.apps.common import combine_signatures, get_app, signatures_close
+from repro.compiler.seq import run_sequential
+from repro.compiler.spf import SpfOptions, compile_spf
+from repro.sim.machine import MachineModel
+from repro.tmk.api import tmk_run
+
+__all__ = ["SeedRun", "RacecheckReport", "racecheck_app",
+           "INTERNAL_PREFIXES", "READBACK_SOURCE"]
+
+#: runtime-internal shared arrays, excluded from the numeric readback
+INTERNAL_PREFIXES = ("__red_", "__acc_", "__fj_")
+
+#: source tag of the harness's own coherent readback accesses
+READBACK_SOURCE = "racecheck:readback"
+
+_DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
+
+
+@dataclass
+class SeedRun:
+    """One application run under one schedule seed."""
+
+    seed: Optional[int]
+    time: float
+    races: object                     # RaceCheckResult
+    hashes: dict                      # array name -> sha256 of coherent bytes
+    signature: dict                   # reduction scalars
+    scalars_close: bool = True
+
+    @property
+    def n_true(self) -> int:
+        return len(self.races.true_races)
+
+
+@dataclass
+class RacecheckReport:
+    """Verdict of :func:`racecheck_app` over all seeds."""
+
+    app: str
+    variant: str
+    nprocs: int
+    preset: str
+    runs: list = field(default_factory=list)       # SeedRun per seed
+    deterministic: bool = True      # array hashes identical across seeds
+    arrays_exact: list = field(default_factory=list)
+    arrays_close: list = field(default_factory=list)
+    arrays_wrong: list = field(default_factory=list)
+    true_races: list = field(default_factory=list)     # union across seeds
+    false_sharing: list = field(default_factory=list)  # union across seeds
+
+    @property
+    def all_exact(self) -> bool:
+        """Every compared array matched the oracle bit-for-bit."""
+        return not self.arrays_close and not self.arrays_wrong
+
+    @property
+    def ok(self) -> bool:
+        return (not self.true_races and self.deterministic
+                and not self.arrays_wrong
+                and all(r.scalars_close for r in self.runs))
+
+    def format(self, lookup: Optional[dict] = None) -> str:
+        seeds = [r.seed for r in self.runs]
+        lines = [f"racecheck {self.app}/{self.variant} "
+                 f"n={self.nprocs} preset={self.preset} seeds={seeds}"]
+        lines.append(
+            f"  numerics: {'bit-identical' if self.deterministic else 'DIVERGED'}"
+            f" across {len(self.runs)} seed(s); vs sequential oracle: "
+            f"{len(self.arrays_exact)} array(s) bit-exact, "
+            f"{len(self.arrays_close)} close, "
+            f"{len(self.arrays_wrong)} WRONG"
+            + ("" if not self.arrays_wrong
+               else " (" + ", ".join(self.arrays_wrong) + ")"))
+        bad_scalars = [r.seed for r in self.runs if not r.scalars_close]
+        lines.append("  scalars: within tolerance of oracle"
+                     if not bad_scalars else
+                     f"  scalars: OUT OF TOLERANCE for seed(s) {bad_scalars}")
+        lines.append(f"  races: {len(self.true_races)} true race(s), "
+                     f"{len(self.false_sharing)} false-sharing pair(s)")
+        for f in self.true_races:
+            lines.append("    " + f.describe(lookup))
+        for f in self.false_sharing[:8]:
+            lines.append("    " + f.describe(lookup))
+        if len(self.false_sharing) > 8:
+            lines.append(f"    ... {len(self.false_sharing) - 8} more "
+                         f"false-sharing pair(s)")
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _hash(arr: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _wrap_with_readback(body):
+    """Append a barrier-ordered coherent readback of every application
+    array on processor 0.  The final barrier happens-after every program
+    access, so the readback itself can never introduce a race."""
+
+    def main(tmk):
+        out = body(tmk)
+        tmk.barrier()
+        arrays = {}
+        if tmk.pid == 0:
+            for handle in tmk.world.space.handles():
+                if handle.name.startswith(INTERNAL_PREFIXES):
+                    continue
+                view = tmk.array(handle.name).read(source=READBACK_SOURCE)
+                arrays[handle.name] = np.array(view, copy=True)
+        return out, arrays
+
+    return main
+
+
+def racecheck_app(app: str, variant: str = "spf",
+                  seeds: Union[int, Sequence] = 5,
+                  nprocs: int = 8, preset: str = "test",
+                  model: Optional[MachineModel] = None,
+                  gc_epochs: Optional[int] = 8) -> RacecheckReport:
+    """Race-check ``app`` under ``variant`` across ``seeds`` interleavings.
+
+    ``seeds`` is a count (seeds ``0..K-1``) or an explicit sequence; a
+    seed of ``None`` means the unperturbed historical order.  Only DSM
+    variants apply (``spf``/``spf_opt``/``spf_old``/``tmk``).
+    """
+    if variant not in _DSM_VARIANTS:
+        raise ValueError(
+            f"racecheck applies to the DSM variants {_DSM_VARIANTS}, not "
+            f"{variant!r} (message-passing variants have no shared memory)")
+    spec = get_app(app)
+    params = spec.params(preset)
+    program = spec.build_program(params)
+
+    if variant == "tmk":
+        def setup(space):
+            spec.hand_tmk_setup(space, params)
+        body = lambda tmk: spec.hand_tmk(tmk, params)   # noqa: E731
+        scalars_of = None      # combined below from per-pid partials
+    else:
+        if variant == "spf_opt":
+            if spec.spf_opt_options is None:
+                raise ValueError(f"{app} has no hand-optimized variant")
+            options = spec.spf_opt_options()
+        elif variant == "spf_old":
+            options = SpfOptions(improved_interface=False)
+        else:
+            options = SpfOptions()
+        exe = compile_spf(program, nprocs, options)
+        setup = exe.setup_space
+        body = exe.run_on
+        scalars_of = 0         # master's return value is the scalar dict
+
+    seq_views, seq_scalars, _seq_time = run_sequential(program)
+    main = _wrap_with_readback(body)
+
+    seed_list = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
+    if not seed_list:
+        raise ValueError("racecheck needs at least one schedule seed "
+                         "(a zero-run verdict would be vacuously OK)")
+    report = RacecheckReport(app=app, variant=variant, nprocs=nprocs,
+                             preset=preset)
+    seen_findings: set = set()
+    first_arrays: Optional[dict] = None
+    for seed in seed_list:
+        run = tmk_run(nprocs, main, setup, model=model, gc_epochs=gc_epochs,
+                      schedule_seed=seed, racecheck=True)
+        parts = [r[0] for r in run.results]
+        _out0, arrays = run.results[0]
+        signature = (dict(parts[scalars_of]) if scalars_of is not None
+                     else combine_signatures(parts))
+        sr = SeedRun(
+            seed=seed, time=run.time, races=run.racecheck,
+            hashes={name: _hash(a) for name, a in arrays.items()},
+            signature=signature,
+            scalars_close=(not seq_scalars
+                           or signatures_close(signature, seq_scalars)))
+        report.runs.append(sr)
+        if first_arrays is None:
+            first_arrays = arrays
+        elif sr.hashes != report.runs[0].hashes:
+            report.deterministic = False
+        for f in run.racecheck.true_races + run.racecheck.false_sharing:
+            key = f.describe()
+            if key in seen_findings:
+                continue
+            seen_findings.add(key)
+            (report.true_races if f.kind == "true-race"
+             else report.false_sharing).append(f)
+
+    # vs the sequential oracle: bitwise first, tolerance fallback
+    for name, got in sorted((first_arrays or {}).items()):
+        ref = seq_views.get(name)
+        if ref is None or ref.shape != got.shape:
+            continue               # runtime-only array (e.g. hand-tmk stats)
+        if got.dtype == ref.dtype and got.tobytes() == ref.tobytes():
+            report.arrays_exact.append(name)
+            continue
+        # tolerance matched to the dtype: reordered float32 accumulations
+        # (fused loops, staged sums) legitimately drift more than float64
+        single = np.result_type(got.dtype, ref.dtype).itemsize <= 4
+        rtol, atol = (5e-4, 1e-4) if single else (1e-6, 1e-12)
+        if np.allclose(got, ref, rtol=rtol, atol=atol):
+            report.arrays_close.append(name)
+        else:
+            report.arrays_wrong.append(name)
+    return report

@@ -10,6 +10,15 @@ to the conductor, which pops the next event in ``(time, priority, seq)``
 order.  The ``seq`` tie-break makes scheduling — and therefore every result
 in the repository — fully deterministic.
 
+A :class:`Simulator` built with ``schedule_seed=N`` inserts a seeded random
+jitter key between ``priority`` and ``seq``, permuting the pop order of
+events that share ``(time, priority)``.  Same-time events are exactly the
+ones the simulated platform leaves unordered (causally-ordered events always
+differ in time because every message and every hold advances the clock), so
+each seed explores a distinct *legal* interleaving of the same run — the
+schedule fuzzer underneath ``python -m repro racecheck``.  ``None`` keeps
+the historical FIFO order bit-for-bit.
+
 Virtual time is a ``float`` in seconds.  Nothing in the engine depends on
 wall-clock time; Python's execution speed never leaks into reported numbers.
 """
@@ -17,6 +26,7 @@ wall-clock time; Python's execution speed never leaks into reported numbers.
 from __future__ import annotations
 
 import heapq
+import random
 import threading
 import traceback
 from typing import Any, Callable, Optional
@@ -129,9 +139,12 @@ class _Killed(BaseException):
 class Simulator:
     """The conductor: owns the event queue and the global virtual clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, schedule_seed: Optional[int] = None) -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, int, Any]] = []
+        self.schedule_seed = schedule_seed
+        self._rng = (random.Random(schedule_seed)
+                     if schedule_seed is not None else None)
+        self._queue: list[tuple[float, int, float, int, Any]] = []
         self._seq = 0
         self._procs: list[Process] = []
         self._conductor_evt = threading.Event()
@@ -162,15 +175,23 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # scheduling internals
 
+    def _jitter(self) -> float:
+        """Tie-break key between ``priority`` and ``seq``: 0.0 (FIFO) without
+        a seed, seeded-random with one, so only same-``(time, priority)``
+        events ever reorder."""
+        return self._rng.random() if self._rng is not None else 0.0
+
     def _schedule_wakeup(self, proc: Process, at: float, priority: int = 0) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (at, priority, self._seq, proc))
+        heapq.heappush(self._queue,
+                       (at, priority, self._jitter(), self._seq, proc))
 
     def schedule_call(self, delay: float, fn: Callable[[], None],
                       priority: int = 0) -> None:
         """Run ``fn`` on the conductor at ``now + delay`` (no process context)."""
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, fn))
+        heapq.heappush(self._queue, (self.now + delay, priority,
+                                     self._jitter(), self._seq, fn))
 
     def unpark(self, proc: Process, delay: float = 0.0, priority: int = 0) -> None:
         """Make a parked process runnable again at ``now + delay``."""
@@ -212,7 +233,7 @@ class Simulator:
             while self._queue:
                 if all(p.finished for p in self._procs if not p.daemon):
                     break
-                at, _pri, _seq, target = heapq.heappop(self._queue)
+                at, _pri, _jit, _seq, target = heapq.heappop(self._queue)
                 if until is not None and at > until:
                     self.now = until
                     break
@@ -229,10 +250,15 @@ class Simulator:
                     raise SimError(self._error)
             live = [p for p in self._procs if not p.finished and not p.daemon]
             if live and until is None:
-                names = ", ".join(p.name for p in live)
+                sites = []
+                for p in live:
+                    if p.parked:
+                        sites.append(f"{p.name} parked at {p.park_token!r}")
+                    else:
+                        sites.append(f"{p.name} blocked (no park site)")
                 raise Deadlock(
                     f"no events remain but {len(live)} process(es) still "
-                    f"blocked: {names}")
+                    f"blocked: " + "; ".join(sites))
             return self.now
         finally:
             self._teardown()

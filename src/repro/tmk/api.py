@@ -54,6 +54,7 @@ class TmkWorld:
         self.barrier_mgr = _sync.BarrierManager(nprocs)
         self.lock_table = _sync.LockTable(nprocs)
         self.dsm_stats = DsmStats()
+        self.race_monitor = None   # set by racecheck.attach_race_monitor
 
 
 class Tmk:
@@ -111,7 +112,9 @@ def tmk_run(nprocs: int,
             args: Sequence = (),
             model: Optional[MachineModel] = None,
             gc_epochs: Optional[int] = 8,
-            trace: bool = False) -> RunResult:
+            trace: bool = False,
+            schedule_seed: Optional[int] = None,
+            racecheck: bool = False) -> RunResult:
     """Run ``program(tmk, *args)`` on ``nprocs`` simulated processors.
 
     ``setup(space)`` performs the static shared allocation (every node sees
@@ -119,6 +122,12 @@ def tmk_run(nprocs: int,
     the run's :class:`DsmStats` as ``result.dsm_stats``; with
     ``trace=True`` it also carries a :class:`~repro.tmk.trace.
     ProtocolTrace` as ``result.trace``.
+
+    ``schedule_seed`` perturbs same-timestamp event ordering in the engine
+    (each seed is a distinct legal interleaving; ``None`` keeps the
+    historical order).  ``racecheck=True`` attaches a
+    :class:`~repro.tmk.racecheck.RaceMonitor` and stores its verdict as
+    ``result.racecheck`` (a :class:`~repro.tmk.racecheck.RaceCheckResult`).
     """
     space = SharedSpace()
     setup(space)
@@ -126,7 +135,10 @@ def tmk_run(nprocs: int,
     if trace:
         from repro.tmk.trace import attach_tracer
         attach_tracer(world)
-    cluster = Cluster(nprocs=nprocs, model=model)
+    if racecheck:
+        from repro.tmk.racecheck import attach_race_monitor
+        attach_race_monitor(world)
+    cluster = Cluster(nprocs=nprocs, model=model, schedule_seed=schedule_seed)
 
     def wrapper(env: ProcEnv, *rest):
         tmk = Tmk(env, world)
@@ -136,4 +148,7 @@ def tmk_run(nprocs: int,
     result.dsm_stats = world.dsm_stats.snapshot()
     if trace:
         result.trace = world.trace
+    if racecheck:
+        result.race_monitor = world.race_monitor
+        result.racecheck = world.race_monitor.finish()
     return result

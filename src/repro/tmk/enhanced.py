@@ -35,7 +35,7 @@ __all__ = ["validate", "push_regions", "broadcast", "PushPayload",
 
 
 def validate(node: TmkNode, handle: ArrayHandle, region=None,
-             flat_indices=None) -> None:
+             flat_indices=None, source=None) -> None:
     """Aggregated fetch of every invalid page under ``region``.
 
     Equivalent in outcome to faulting each page one at a time, but with one
@@ -43,10 +43,14 @@ def validate(node: TmkNode, handle: ArrayHandle, region=None,
     per-page fault traps.
     """
     if flat_indices is not None:
+        node._note_access(handle, False, source, flat_indices=flat_indices)
         pages = handle.element_pages(flat_indices)
     elif region is not None:
+        node._note_access(handle, False, source, region=region)
         pages = handle.region_pages(region)
     else:
+        node._note_access(handle, False, source,
+                          region=tuple(slice(None) for _ in handle.shape))
         pages = np.asarray(list(handle.pages()))
     by_writer: dict[int, list] = {}
     metas = {}
@@ -104,11 +108,15 @@ def push_regions(node: TmkNode, regions: Sequence, dests: Iterable[int]) -> None
     if payload is None:
         return
     proc = node.env.proc
+    mon = getattr(node.world, "race_monitor", None)
+    snap = mon.release(node.pid) if mon is not None else None
     for dst in dests:
         if dst == node.pid:
             continue
         node.net.send(proc, node.pid, dst, payload, tag=TAG_PUSH,
                       nbytes=payload.nbytes_on_wire, category="data")
+        if mon is not None:
+            mon.channel_put(node.pid, dst, "push", snap)
         node.world.dsm_stats.pushes += 1
 
 
@@ -116,17 +124,23 @@ def drain_pushes(node: TmkNode) -> None:
     """Install any pushed data that has arrived (call right after the
     synchronization operation that follows the producers' pushes)."""
     proc = node.env.proc
+    mon = getattr(node.world, "race_monitor", None)
     while node.net.probe(node.pid, tag=TAG_PUSH):
         msg = node.net.recv(proc, node.pid, tag=TAG_PUSH)
         msg.payload.install(node)
+        if mon is not None:
+            mon.channel_acquire(node.pid, msg.src, "push")
 
 
 def expect_pushes(node: TmkNode, count: int) -> None:
     """Blockingly install exactly ``count`` pushed messages."""
     proc = node.env.proc
+    mon = getattr(node.world, "race_monitor", None)
     for _ in range(count):
         msg = node.net.recv(proc, node.pid, tag=TAG_PUSH)
         msg.payload.install(node)
+        if mon is not None:
+            mon.channel_acquire(node.pid, msg.src, "push")
 
 
 class PushPayload:
@@ -271,6 +285,7 @@ def broadcast(node: TmkNode, handle: ArrayHandle, region, root: int) -> None:
     the paper modified TreadMarks to use a broadcast.
     """
     proc = node.env.proc
+    mon = getattr(node.world, "race_monitor", None)
     pages = handle.region_pages(region).tolist()
     if node.pid == root:
         images = []
@@ -286,13 +301,18 @@ def broadcast(node: TmkNode, handle: ArrayHandle, region, root: int) -> None:
                            dict(m.applied),
                            root_wm, (m.last_okey or (0, root))))
             nbytes += PAGE_SIZE + 16
+        snap = mon.release(node.pid) if mon is not None else None
         for dst in range(node.nprocs):
             if dst == root:
                 continue
             node.net.send(proc, node.pid, dst, images, tag=TAG_PUSH,
                           nbytes=nbytes, category="data")
+            if mon is not None:
+                mon.channel_put(node.pid, dst, "bcast", snap)
     else:
         msg = node.net.recv(proc, node.pid, src=root, tag=TAG_PUSH)
+        if mon is not None:
+            mon.channel_acquire(node.pid, root, "bcast")
         for page, image, root_applied, root_last, _okey in msg.payload:
             m = node.meta(page)
             if m.dirty:

@@ -123,6 +123,8 @@ class ImprovedForkJoin:
         proc = node.env.proc
         node.close_interval()
         model = node.model
+        mon = getattr(node.world, "race_monitor", None)
+        snap = mon.release(node.pid) if mon is not None else None
         for w in range(1, node.nprocs):
             records = records_unknown_to(node.retained_log,
                                          self._worker_seen[w])
@@ -133,6 +135,8 @@ class ImprovedForkJoin:
                 nbytes += payload.nbytes_on_wire
             node.net.send(proc, node.pid, w, body, tag=TAG_FORK,
                           nbytes=nbytes, category="sync")
+            if mon is not None:
+                mon.channel_put(node.pid, w, "fork", snap)
             self._worker_seen[w] = node.seen.copy()
         node.prune_log()
         node.advance_epoch()
@@ -142,11 +146,14 @@ class ImprovedForkJoin:
         node = self.node
         proc = node.env.proc
         node.close_interval()
+        mon = getattr(node.world, "race_monitor", None)
         for _ in range(node.nprocs - 1):
             msg = node.net.recv(proc, node.pid, tag=TAG_JOIN)
             records, seen = msg.payload
             node.apply_records(records, log=True)
             w = msg.src
+            if mon is not None:
+                mon.channel_acquire(node.pid, w, "join")
             sv = SeenVector(node.nprocs)
             sv.v = list(seen)
             self._worker_seen[w] = sv
@@ -162,6 +169,9 @@ class ImprovedForkJoin:
         msg = node.net.recv(proc, node.pid, src=0, tag=TAG_FORK)
         sub_id, params, records, payload = msg.payload
         node.apply_records(records, log=False)
+        mon = getattr(node.world, "race_monitor", None)
+        if mon is not None:
+            mon.channel_acquire(node.pid, 0, "fork")
         if payload is not None:
             payload.install(node)
         node.advance_epoch()
@@ -175,6 +185,9 @@ class ImprovedForkJoin:
         node.close_interval()
         records = list(node.log_current)
         node.prune_log()
+        mon = getattr(node.world, "race_monitor", None)
+        if mon is not None:
+            mon.channel_put(node.pid, 0, "join", mon.release(node.pid))
         nbytes = 16 + notice_payload_nbytes(
             records, node.model.interval_header_bytes,
             node.model.write_notice_bytes)

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.sim.machine import PAGE_SIZE
 
-__all__ = ["ArrayHandle", "SharedSpace", "normalize_region", "region_nbytes"]
+__all__ = ["ArrayHandle", "SharedSpace", "normalize_region", "region_nbytes",
+           "merge_spans"]
 
 Region = tuple  # tuple of ints/slices
 
@@ -115,6 +116,65 @@ class ArrayHandle:
         idx = np.asarray(flat_indices, dtype=np.int64)
         starts = self.offset + idx * self.itemsize
         return _pages_of_spans(starts, elem_span * self.itemsize)
+
+    # ------------------------------------------------------------------ #
+    # region -> byte runs (exact footprints, for the race detector)
+
+    def region_byte_runs(self, region: Region) -> np.ndarray:
+        """Merged global byte intervals touched by ``region``.
+
+        Returns a ``(k, 2)`` int64 array of ``[start, stop)`` pairs in the
+        shared space, sorted and non-overlapping.  Where :meth:`region_pages`
+        rounds to page granularity for the coherence protocol, this keeps
+        the exact bytes — the race detector needs them to tell a true
+        overlap from mere false sharing within a page.
+        """
+        region = normalize_region(region, self.shape)
+        strides = self._strides()
+        span = self.itemsize
+        d = len(self.shape) - 1
+        while d >= 0:
+            lo, hi = region[d]
+            if lo == 0 and hi == self.shape[d]:
+                span *= self.shape[d]
+                d -= 1
+            else:
+                span *= (hi - lo)
+                break
+        if d < 0:
+            return np.array([[self.offset, self.offset + self.nbytes]],
+                            dtype=np.int64)
+        lo_d, _hi_d = region[d]
+        base = self.offset + lo_d * strides[d]
+        outer_offsets = np.array([0], dtype=np.int64)
+        for k in range(d):
+            lo, hi = region[k]
+            idx = np.arange(lo, hi, dtype=np.int64) * strides[k]
+            outer_offsets = (outer_offsets[:, None] + idx[None, :]).ravel()
+        return merge_spans(base + outer_offsets, span)
+
+    def element_byte_runs(self, flat_indices: Union[np.ndarray, Sequence[int]],
+                          elem_span: int = 1) -> np.ndarray:
+        """Merged ``[start, stop)`` byte intervals of scattered elements."""
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        starts = self.offset + idx * self.itemsize
+        return merge_spans(starts, elem_span * self.itemsize)
+
+
+def merge_spans(starts: np.ndarray, span: int) -> np.ndarray:
+    """Merge equal-length spans ``[s, s+span)`` into sorted disjoint runs.
+
+    Returns a ``(k, 2)`` int64 array of ``[start, stop)`` intervals;
+    touching spans coalesce (``[0, 4)`` + ``[4, 8)`` -> ``[0, 8)``).
+    """
+    if starts.size == 0 or span <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    s = np.sort(np.asarray(starts, dtype=np.int64))
+    run_stop = np.maximum.accumulate(s + span)
+    breaks = np.nonzero(s[1:] > run_stop[:-1])[0] + 1
+    first = np.concatenate(([0], breaks))
+    last = np.concatenate((breaks, [s.size]))
+    return np.stack([s[first], run_stop[last - 1]], axis=1)
 
 
 def _pages_of_spans(starts: np.ndarray, span: int) -> np.ndarray:

@@ -214,25 +214,48 @@ class TmkNode:
     # ------------------------------------------------------------------ #
     # access hooks — the simulated page faults
 
-    def ensure_read(self, handle: ArrayHandle, region) -> None:
+    def ensure_read(self, handle: ArrayHandle, region, source=None) -> None:
         """Validate every page of ``region`` before a read (read faults)."""
+        self._note_access(handle, False, source, region=region)
         for page in handle.region_pages(region).tolist():
             self._read_fault_if_needed(page)
 
-    def ensure_write(self, handle: ArrayHandle, region) -> None:
+    def ensure_write(self, handle: ArrayHandle, region, source=None) -> None:
         """Validate + twin every page of ``region`` before a write."""
+        self._note_access(handle, True, source, region=region)
         for page in handle.region_pages(region).tolist():
             self._write_fault_if_needed(page)
 
     def ensure_read_elements(self, handle: ArrayHandle, flat_indices,
-                             elem_span: int = 1) -> None:
+                             elem_span: int = 1, source=None) -> None:
+        self._note_access(handle, False, source, flat_indices=flat_indices,
+                          elem_span=elem_span)
         for page in handle.element_pages(flat_indices, elem_span).tolist():
             self._read_fault_if_needed(page)
 
     def ensure_write_elements(self, handle: ArrayHandle, flat_indices,
-                              elem_span: int = 1) -> None:
+                              elem_span: int = 1, source=None) -> None:
+        self._note_access(handle, True, source, flat_indices=flat_indices,
+                          elem_span=elem_span)
         for page in handle.element_pages(flat_indices, elem_span).tolist():
             self._write_fault_if_needed(page)
+
+    def _note_access(self, handle: ArrayHandle, write: bool, source,
+                     region=None, flat_indices=None, elem_span: int = 1) -> None:
+        """Report the exact access footprint to an attached race monitor.
+
+        Every coherent access — :class:`~repro.tmk.shared.SharedArray`
+        methods, the compiler backends, the enhanced interface — funnels
+        through one of the four ``ensure_*`` hooks above, so this is the
+        single point where the detector observes the program."""
+        mon = getattr(self.world, "race_monitor", None)
+        if mon is None:
+            return
+        if flat_indices is not None:
+            runs = handle.element_byte_runs(flat_indices, elem_span)
+        else:
+            runs = handle.region_byte_runs(region)
+        mon.on_access(self.pid, handle, write=write, runs=runs, source=source)
 
     def _read_fault_if_needed(self, page: int) -> None:
         m = self.meta(page)

@@ -72,6 +72,7 @@ def tmk_reduce(node: TmkNode, value, op: Callable = None,
     proc = node.env.proc
     model = node.model
     nprocs = node.nprocs
+    mon = getattr(world, "race_monitor", None)
     if nprocs == 1:
         node.close_interval()
         node.advance_epoch()
@@ -85,6 +86,8 @@ def tmk_reduce(node: TmkNode, value, op: Callable = None,
         child_value, records, seen = msg.payload
         acc = op(acc, child_value)
         node.apply_records(records, log=True)
+        if mon is not None:
+            mon.channel_acquire(node.pid, child, "reduce-up")
         gathered.append((child, seen))
     parent = _parent(node.pid)
     if parent is not None:
@@ -92,20 +95,29 @@ def tmk_reduce(node: TmkNode, value, op: Callable = None,
         payload = (acc, records, node.seen.as_tuple())
         nbytes = 16 + notice_payload_nbytes(
             records, model.interval_header_bytes, model.write_notice_bytes)
+        if mon is not None:
+            mon.channel_put(node.pid, parent, "reduce-up",
+                            mon.release(node.pid))
         node.net.send(proc, node.pid, parent, payload, tag=TAG_REDUCE_UP,
                       nbytes=nbytes, category="sync")
         msg = node.net.recv(proc, node.pid, src=parent, tag=TAG_REDUCE_DOWN)
         result, records = msg.payload
         node.apply_records(records, log=True)
+        if mon is not None:
+            mon.channel_acquire(node.pid, parent, "reduce-down")
     else:
         result = acc
     # downward: result + the records each subtree is missing
+    down_snap = mon.release(node.pid) if (mon is not None and gathered) \
+        else None
     for child, child_seen in gathered:
         sv = SeenVector(nprocs)
         sv.v = list(child_seen)
         records = records_unknown_to(node.retained_log, sv)
         nbytes = 16 + notice_payload_nbytes(
             records, model.interval_header_bytes, model.write_notice_bytes)
+        if mon is not None:
+            mon.channel_put(node.pid, child, "reduce-down", down_snap)
         node.net.send(proc, node.pid, child, (result, records),
                       tag=TAG_REDUCE_DOWN, nbytes=nbytes, category="sync")
     node.prune_log()

@@ -46,22 +46,25 @@ class SharedArray:
     def name(self) -> str:
         return self.handle.name
 
-    def read(self, region=...) -> np.ndarray:
+    def read(self, region=..., source=None) -> np.ndarray:
         """Validate pages under ``region`` and return the local view of it."""
         region = self._norm(region)
-        self.node.ensure_read(self.handle, region)
+        self.node.ensure_read(self.handle, region,
+                              source=source or f"{self.name}.read")
         return self._view[region]
 
-    def writable(self, region=...) -> np.ndarray:
+    def writable(self, region=..., source=None) -> np.ndarray:
         """Validate + twin pages under ``region``; returns an assignable view."""
         region = self._norm(region)
-        self.node.ensure_write(self.handle, region)
+        self.node.ensure_write(self.handle, region,
+                               source=source or f"{self.name}.writable")
         return self._view[region]
 
-    def write(self, region, values) -> None:
+    def write(self, region, values, source=None) -> None:
         """Assign ``values`` into ``region`` with write detection."""
         region = self._norm(region)
-        self.node.ensure_write(self.handle, region)
+        self.node.ensure_write(self.handle, region,
+                               source=source or f"{self.name}.write")
         self._view[region] = values
 
     def raw(self) -> np.ndarray:
@@ -71,20 +74,24 @@ class SharedArray:
     # ------------------------------------------------------------------ #
     # irregular access (indirection arrays)
 
-    def gather(self, flat_indices) -> np.ndarray:
+    def gather(self, flat_indices, source=None) -> np.ndarray:
         """Read scattered elements (by C-order flat index)."""
-        self.node.ensure_read_elements(self.handle, flat_indices)
+        self.node.ensure_read_elements(self.handle, flat_indices,
+                                       source=source or f"{self.name}.gather")
         return self._view.reshape(-1)[np.asarray(flat_indices)]
 
-    def scatter_write(self, flat_indices, values) -> None:
+    def scatter_write(self, flat_indices, values, source=None) -> None:
         """Write scattered elements (by C-order flat index)."""
-        self.node.ensure_write_elements(self.handle, flat_indices)
+        self.node.ensure_write_elements(
+            self.handle, flat_indices,
+            source=source or f"{self.name}.scatter_write")
         self._view.reshape(-1)[np.asarray(flat_indices)] = values
 
-    def scatter_add(self, flat_indices, values) -> None:
+    def scatter_add(self, flat_indices, values, source=None) -> None:
         """Accumulate into scattered elements (read-modify-write)."""
         idx = np.asarray(flat_indices)
-        self.node.ensure_write_elements(self.handle, idx)
+        self.node.ensure_write_elements(
+            self.handle, idx, source=source or f"{self.name}.scatter_add")
         np.add.at(self._view.reshape(-1), idx, values)
 
     # ------------------------------------------------------------------ #

@@ -201,12 +201,17 @@ def barrier(node: TmkNode) -> None:
     model = node.model
     mgr: BarrierManager = world.barrier_mgr
     proc = node.env.proc
+    mon = getattr(world, "race_monitor", None)
+    if mon is not None:
+        mon.on_barrier_arrive(node.pid)
     node.close_interval()
     records = list(node.log_current)
     node.prune_log()
 
     if node.nprocs == 1:
         node.advance_epoch()
+        if mon is not None:
+            mon.on_barrier_depart(node.pid)
         return
 
     if node.pid == 0:
@@ -221,6 +226,8 @@ def barrier(node: TmkNode) -> None:
             mgr._local_depart = None
             node.apply_records(my_records, log=False)
         node.advance_epoch()
+        if mon is not None:
+            mon.on_barrier_depart(node.pid)
         return
 
     # remote member: release message to the manager
@@ -232,6 +239,8 @@ def barrier(node: TmkNode) -> None:
     dep: BarrierDepart = msg.payload
     node.apply_records(dep.records, log=False)
     node.advance_epoch()
+    if mon is not None:
+        mon.on_barrier_depart(node.pid)
 
 
 def _member_gen(node: TmkNode) -> int:
@@ -302,11 +311,19 @@ def lock_acquire(node: TmkNode, lock: int) -> None:
     msg = node.net.recv(proc, node.pid, tag=TAG_LOCK_GRANT + lock)
     grant: LockGrant = msg.payload
     node.apply_records(grant.records, log=True)
+    mon = getattr(world, "race_monitor", None)
+    if mon is not None:
+        mon.on_lock_acquire(node.pid, lock)
 
 
 def lock_release(node: TmkNode, lock: int) -> None:
     """Release ``lock``.  Communication happens only if a request is queued."""
     table: LockTable = node.world.lock_table
+    mon = getattr(node.world, "race_monitor", None)
+    if mon is not None:
+        # snapshot before note_release: a queued request may be granted
+        # (and read this snapshot) inside the call below
+        mon.on_lock_release(node.pid, lock)
     node.close_interval()
     due = table.note_release(node.pid, lock)
     if due is not None:
@@ -320,6 +337,9 @@ def _send_grant(node: TmkNode, proc, lock: int, requester: int,
     sv.v = list(seen)
     records = records_unknown_to(node.retained_log, sv)
     grant = LockGrant(lock=lock, records=records)
+    mon = getattr(node.world, "race_monitor", None)
+    if mon is not None:
+        mon.on_grant_send(node.pid, lock, requester)
     node.net.send(proc, node.pid, requester, grant,
                   tag=TAG_LOCK_GRANT + lock, nbytes=grant.nbytes(node.model),
                   category="sync")
@@ -366,6 +386,10 @@ def manager_handle_lock_req(node: TmkNode, sproc, req: LockReq) -> None:
 
 def _send_grant_empty(node: TmkNode, proc, lock: int, requester: int) -> None:
     grant = LockGrant(lock=lock, records=[])
+    mon = getattr(node.world, "race_monitor", None)
+    if mon is not None:
+        # re-acquire by the last holder: the grant carries no new ordering
+        mon._pending_grant[(lock, requester)] = None
     node.net.send(proc, node.pid, requester, grant,
                   tag=TAG_LOCK_GRANT + lock, nbytes=grant.nbytes(node.model),
                   category="sync")

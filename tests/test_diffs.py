@@ -145,6 +145,62 @@ def test_roundtrip_property(changes):
     assert np.array_equal(rebuilt, cur)
 
 
+# --------------------------------------------------------------------- #
+# seeded randomized round-trips: random twin/page pairs must encode and
+# re-apply bit-identically, including the degenerate shapes
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_seeded_random_edits_roundtrip(seed):
+    rng = np.random.default_rng(seed)
+    twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+    cur = twin.copy()
+    for _ in range(int(rng.integers(1, 24))):
+        word = int(rng.integers(0, PAGE // WORD))
+        span = int(rng.integers(1, 16))
+        lo = word * WORD
+        hi = min(PAGE, lo + span * WORD)
+        cur[lo:hi] = rng.integers(0, 256, hi - lo).astype(np.uint8)
+    diff = make_diff(cur, twin)
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, diff)
+    assert np.array_equal(rebuilt, cur)
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_seeded_unmodified_page_gives_empty_diff(seed):
+    rng = np.random.default_rng(seed)
+    twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+    assert make_diff(twin.copy(), twin) == []
+
+
+@pytest.mark.parametrize("seed", [7, 8])
+def test_seeded_full_page_diff_roundtrip(seed):
+    """Every word modified: one run spanning the whole page."""
+    rng = np.random.default_rng(seed)
+    twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+    cur = (twin + 1).astype(np.uint8)    # every byte (hence word) differs
+    diff = make_diff(cur, twin)
+    assert len(diff) == 1
+    assert diff[0][0] == 0 and len(diff[0][1]) == PAGE
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, diff)
+    assert np.array_equal(rebuilt, cur)
+
+
+def test_word_boundary_runs_roundtrip():
+    """Runs hugging both page edges survive the round trip intact."""
+    twin = page(0)
+    cur = twin.copy()
+    cur[0:WORD] = 1
+    cur[PAGE - WORD:PAGE] = 2
+    diff = make_diff(cur, twin)
+    assert [off for off, _ in diff] == [0, PAGE - WORD]
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, diff)
+    assert np.array_equal(rebuilt, cur)
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.integers(0, PAGE // WORD - 1), st.integers(1, 64))
 def test_run_structure_property(start_word, nwords):
