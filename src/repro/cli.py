@@ -7,14 +7,16 @@ Commands
 ``figures``              regenerate the paper's figures/tables (bench sizes)
 ``explain APP``          print both compilers' compilation reports
 ``racecheck APP VARIANT``  fuzz schedules + happens-before race detection
+``bench``                time simulator kernels in wall-clock seconds
 ``list``                 list applications, variants and presets
 
 Examples::
 
-    python -m repro run igrid spf -n 8 --preset bench
+    python -m repro run igrid spf -n 8 --preset bench --stats
     python -m repro compare jacobi --preset test
     python -m repro explain mgs
     python -m repro racecheck igrid spf --seeds 5
+    python -m repro bench --smoke
     python -m repro figures
 """
 
@@ -45,6 +47,9 @@ def cmd_run(args) -> int:
     print(res.row())
     if res.dsm is not None:
         print("dsm:", res.dsm.summary())
+        if args.stats:
+            from repro.tmk.diagnostics import fastpath_summary
+            print(fastpath_summary(res.dsm))
     paper = PAPER.get(args.app)
     if paper and args.variant in paper.speedups \
             and paper.speedups[args.variant]:
@@ -127,6 +132,37 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import check_regression, load_baseline, run_bench
+    from repro.bench.wallclock import write_results
+
+    doc = run_bench(smoke=args.smoke, nprocs=args.nprocs,
+                    only=args.only or None, progress=print)
+    path = write_results(doc, args.out) if args.out \
+        else write_results(doc)
+    print(f"calibration: {doc['calibration_s']:.3f}s; results -> {path}")
+    if args.no_gate:
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline \
+        else load_baseline()
+    if baseline is None:
+        print("no committed baseline found; gate skipped "
+              "(commit this run's JSON as the baseline to enable it)")
+        return 0
+    if baseline.get("preset") != doc.get("preset"):
+        print(f"baseline covers preset {baseline.get('preset')!r}, this run "
+              f"used {doc.get('preset')!r}; gate skipped")
+        return 0
+    failures = check_regression(doc, baseline, tolerance=args.tolerance)
+    if failures:
+        for f in failures:
+            print("REGRESSION:", f, file=sys.stderr)
+        return 1
+    print(f"regression gate passed ({len(doc['kernels'])} kernel(s) within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
 def cmd_list(_args) -> int:
     print("applications:")
     for app in APPS:
@@ -149,6 +185,8 @@ def main(argv=None) -> int:
     p.add_argument("app", choices=APPS)
     p.add_argument("variant", choices=[v for v in VARIANTS if v != "seq"]
                    + ["seq"])
+    p.add_argument("--stats", action="store_true",
+                   help="print fast-path/coherence counters (DSM variants)")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
 
@@ -181,6 +219,26 @@ def main(argv=None) -> int:
                    help="problem size preset (default test: the harness "
                         "runs the app once per seed)")
     p.set_defaults(fn=cmd_racecheck)
+
+    p = sub.add_parser(
+        "bench",
+        help="time simulator kernels (wall-clock) and gate regressions")
+    p.add_argument("--smoke", action="store_true",
+                   help="small problem sizes (CI-friendly)")
+    p.add_argument("--only", nargs="*", default=None,
+                   help="restrict to these kernel names")
+    p.add_argument("--out", default=None,
+                   help="result JSON path (default benchmarks/results/"
+                        "BENCH_wallclock.json)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON to gate against (default "
+                        "benchmarks/results/BENCH_baseline.json)")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed wall-clock regression (default 0.25)")
+    p.add_argument("--no-gate", action="store_true",
+                   help="write results without checking the baseline")
+    p.add_argument("-n", "--nprocs", type=int, default=8)
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("list", help="list applications and variants")
     p.set_defaults(fn=cmd_list)

@@ -55,6 +55,9 @@ class VariantResult:
     total_kilobytes: float = 0.0
     categories: dict = field(default_factory=dict)   # window, per category
     races: Optional[object] = None   # RaceCheckResult when racecheck=True
+    events: int = 0              # simulator events processed (whole run) —
+                                 # wall-clock throughput denominator for
+                                 # ``python -m repro bench``
 
     @property
     def speedup(self) -> float:
@@ -166,6 +169,7 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
         categories={k: (v[0], v[1])
                     for k, v in wtraffic.by_category.items()},
         races=getattr(result, "racecheck", None),
+        events=getattr(result, "events", 0),
     )
 
 

@@ -21,6 +21,21 @@ the historical FIFO order bit-for-bit.
 
 Virtual time is a ``float`` in seconds.  Nothing in the engine depends on
 wall-clock time; Python's execution speed never leaks into reported numbers.
+
+Two wall-clock (never virtual-time) optimizations keep the conductor cheap:
+
+* **hold elision** — when a process calls :meth:`Process.hold` and its wakeup
+  would be the very next event the conductor pops (strictly earlier than the
+  current queue head under the full ``(time, priority, jitter)`` key), the
+  engine advances the clock inline and lets the thread keep running.  No
+  other process could have run in between, so the event order — and, because
+  the jitter draw still happens, even the seeded random stream — is
+  bit-identical to the blocking path.  ``HOLD_ELISION = False`` restores the
+  literal block-and-resume behaviour (the equivalence tests compare both).
+* **raw-lock handoffs** — the conductor⇄process baton is passed through bare
+  ``_thread`` locks used as binary semaphores rather than
+  ``threading.Event`` (whose ``Condition`` machinery allocates a lock and
+  takes several more on every wait).
 """
 
 from __future__ import annotations
@@ -29,9 +44,13 @@ import heapq
 import random
 import threading
 import traceback
+from _thread import allocate_lock
 from typing import Any, Callable, Optional
 
-__all__ = ["Simulator", "Process", "SimError", "Deadlock"]
+__all__ = ["Simulator", "Process", "SimError", "Deadlock", "HOLD_ELISION"]
+
+HOLD_ELISION = True
+"""Fast-path uncontended holds without a conductor round-trip (exact)."""
 
 
 class SimError(RuntimeError):
@@ -62,7 +81,10 @@ class Process:
         self._fn = fn
         self._args = args
         self._kwargs = kwargs
-        self._resume = threading.Event()
+        # baton lock: held (locked) while the process must stay blocked;
+        # the conductor releases it to hand over a slice
+        self._resume = allocate_lock()
+        self._resume.acquire()
         self.finished = False
         self.finish_time: Optional[float] = None
         self.result: Any = None
@@ -81,8 +103,7 @@ class Process:
 
     def _bootstrap(self) -> None:
         # Wait for the conductor to give us our first slice.
-        self._resume.wait()
-        self._resume.clear()
+        self._resume.acquire()
         try:
             self.result = self._fn(*self._args, **self._kwargs)
         except _Killed:
@@ -92,11 +113,13 @@ class Process:
         finally:
             self.finished = True
             self.finish_time = self.sim.now
+            if not self.daemon:
+                self.sim._pending_nondaemon -= 1
             self.sim._switch_to_conductor()
 
     def _run_slice(self) -> None:
         """Conductor hands the CPU to this process and waits for it to block."""
-        self._resume.set()
+        self._resume.release()
         self.sim._conductor_wait()
 
     # ------------------------------------------------------------------ #
@@ -112,10 +135,32 @@ class Process:
         Models local computation or fixed software overheads.  ``dt`` may be
         zero (a pure yield, which still gives deterministically-ordered
         scheduling to same-time events).
+
+        When this process's wakeup would be the next event popped anyway
+        (strictly earlier than the queue head under the full
+        ``(time, priority, jitter)`` key — on a tie the already-queued event
+        has the smaller ``seq`` and wins), the conductor round-trip is
+        elided: no other process could have run in between, so advancing the
+        clock inline is observationally identical.  The jitter draw happens
+        either way, keeping seeded schedules bit-for-bit.
         """
         if dt < 0:
             raise ValueError(f"negative hold: {dt}")
-        self.sim._schedule_wakeup(self, self.sim.now + dt)
+        sim = self.sim
+        at = sim.now + dt
+        if HOLD_ELISION and sim._until is None:
+            jit = sim._jitter()
+            q = sim._queue
+            if not q or (at, 0, jit) < (q[0][0], q[0][1], q[0][2]):
+                sim.now = at
+                sim.events += 1
+                sim.elided_holds += 1
+                return
+            sim._seq += 1
+            heapq.heappush(q, (at, 0, jit, sim._seq, self))
+            self._block()
+            return
+        sim._schedule_wakeup(self, at)
         self._block()
 
     def park(self, token: Any = None) -> None:
@@ -126,8 +171,7 @@ class Process:
 
     def _block(self) -> None:
         self.sim._switch_to_conductor()
-        self._resume.wait()
-        self._resume.clear()
+        self._resume.acquire()
         if self.sim._dead:
             raise _Killed()
 
@@ -147,11 +191,17 @@ class Simulator:
         self._queue: list[tuple[float, int, float, int, Any]] = []
         self._seq = 0
         self._procs: list[Process] = []
-        self._conductor_evt = threading.Event()
+        # conductor baton: held (locked) while a process has the CPU
+        self._conductor_baton = allocate_lock()
+        self._conductor_baton.acquire()
         self._error: Optional[str] = None
         self._dead = False
         self._running = False
         self._current: Optional[Process] = None
+        self._until: Optional[float] = None
+        self._pending_nondaemon = 0
+        self.events = 0            # conductor pops + elided holds
+        self.elided_holds = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -167,6 +217,8 @@ class Simulator:
         proc = Process(self, len(self._procs), name, fn, args, kwargs,
                        daemon=daemon)
         self._procs.append(proc)
+        if not daemon:
+            self._pending_nondaemon += 1
         self._schedule_wakeup(proc, self.now)
         if self._running and not proc._started:
             proc._start()
@@ -205,11 +257,14 @@ class Simulator:
     # conductor <-> process handoff
 
     def _conductor_wait(self) -> None:
-        self._conductor_evt.wait()
-        self._conductor_evt.clear()
+        self._conductor_baton.acquire()
 
     def _switch_to_conductor(self) -> None:
-        self._conductor_evt.set()
+        if self._dead:
+            # teardown: the conductor is joining threads, not waiting on the
+            # baton; a second release would be an error
+            return
+        self._conductor_baton.release()
 
     def _fail(self, proc: Process, tb: str) -> None:
         if self._error is None:
@@ -226,18 +281,20 @@ class Simulator:
         event can ever wake them.
         """
         self._running = True
+        self._until = until
         for proc in self._procs:
             if not proc._started:
                 proc._start()
         try:
             while self._queue:
-                if all(p.finished for p in self._procs if not p.daemon):
+                if self._pending_nondaemon == 0:
                     break
                 at, _pri, _jit, _seq, target = heapq.heappop(self._queue)
                 if until is not None and at > until:
                     self.now = until
                     break
                 self.now = at
+                self.events += 1
                 if isinstance(target, Process):
                     if target.finished:
                         continue
@@ -268,7 +325,7 @@ class Simulator:
         self._dead = True
         for proc in self._procs:
             if proc._started and not proc.finished:
-                proc._resume.set()
+                proc._resume.release()
         for proc in self._procs:
             if proc._started:
                 proc._thread.join(timeout=5.0)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.sim.cluster import Cluster, ProcEnv, RunResult
 from repro.sim.machine import MachineModel
+from repro.tmk.faststate import fastpath_enabled_from_env
 from repro.tmk.pagespace import ArrayHandle, SharedSpace
 from repro.tmk.protocol import TmkNode
 from repro.tmk.server import start_server
@@ -50,6 +51,8 @@ class TmkWorld:
         self.nprocs = nprocs
         self.space = space
         self.gc_epochs = gc_epochs
+        # coherence fast path (TMK_FASTPATH=0 disables; see tmk.faststate)
+        self.fastpath = fastpath_enabled_from_env()
         self.nodes: dict[int, TmkNode] = {}
         self.barrier_mgr = _sync.BarrierManager(nprocs)
         self.lock_table = _sync.LockTable(nprocs)

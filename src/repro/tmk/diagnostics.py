@@ -23,7 +23,25 @@ from collections import Counter, defaultdict
 from repro.tmk.trace import ProtocolTrace
 
 __all__ = ["false_sharing_report", "hot_pages", "fault_summary",
-           "find_false_sharing"]
+           "find_false_sharing", "fastpath_summary"]
+
+
+def fastpath_summary(stats) -> str:
+    """Format the coherence fast path's counters (see tmk.faststate).
+
+    ``stats`` is a :class:`~repro.tmk.stats.DsmStats`.  These are
+    wall-clock observability numbers only — the fast path never changes
+    simulated behaviour — so a low hit rate flags overhead, not a bug.
+    """
+    total = stats.fastpath_hits + stats.fastpath_misses
+    if total == 0:
+        return ("fast path: inactive (no ensure_* calls, or disabled via "
+                "TMK_FASTPATH=0)")
+    rate = stats.fastpath_hits / total
+    return (f"fast path: {stats.fastpath_hits}/{total} ensure_* calls "
+            f"served by the mask/verdict caches ({rate:.1%} hit rate); "
+            f"{stats.region_cache_hits} region->pages memo hits; "
+            f"{stats.epoch_bumps} acquire-edge epoch bumps")
 
 
 def _epochs(trace: ProtocolTrace):

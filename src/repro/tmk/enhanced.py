@@ -52,6 +52,10 @@ def validate(node: TmkNode, handle: ArrayHandle, region=None,
         node._note_access(handle, False, source,
                           region=tuple(slice(None) for _ in handle.shape))
         pages = np.asarray(list(handle.pages()))
+    fs = node.fast
+    if fs.enabled:
+        # mask-True pages are guaranteed valid; only the rest need a look
+        pages = pages[~fs.valid[pages]]
     by_writer: dict[int, list] = {}
     metas = {}
     for page in pages.tolist():
@@ -78,6 +82,7 @@ def validate(node: TmkNode, handle: ArrayHandle, region=None,
     for page, m in metas.items():
         node._apply_replies(page, m, replies_by_page[page])
         m.valid = True
+        fs.valid[page] = True
 
 
 class _Part:
@@ -212,6 +217,7 @@ class PushPayload:
             m.applied[self.sender] = max(m.applied.get(self.sender, 0), wm)
             if not m.missing_writers():
                 m.valid = True
+                node.fast.valid[page] = True
 
 
 class BcastPayload:
@@ -270,6 +276,7 @@ class BcastPayload:
             for w in list(m.pending):
                 m.applied[w] = max(m.applied.get(w, 0), m.pending[w])
             m.valid = True
+            node.fast.valid[page] = True
             node.world.dsm_stats.pushes += 1
 
 
@@ -327,3 +334,4 @@ def broadcast(node: TmkNode, handle: ArrayHandle, region, root: int) -> None:
             for w in list(m.pending):
                 m.applied[w] = max(m.applied.get(w, 0), m.pending[w])
             m.valid = True
+            node.fast.valid[page] = True

@@ -15,7 +15,7 @@ supply explicit element indices instead.  Fast paths cover the common cases
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence, Union
 
 import numpy as np
@@ -27,6 +27,8 @@ __all__ = ["ArrayHandle", "SharedSpace", "normalize_region", "region_nbytes",
 
 Region = tuple  # tuple of ints/slices
 
+_PAGES_CACHE_LIMIT = 1024   # distinct footprints memoized per handle
+
 
 @dataclass(frozen=True)
 class ArrayHandle:
@@ -37,6 +39,11 @@ class ArrayHandle:
     shape: tuple
     dtype: np.dtype
     space_id: int = 0
+    # region -> pages memo (pure: the layout is static, so a normalized
+    # region always maps to the same pages).  Excluded from eq/hash/repr;
+    # handles are shared by every node of a run, which is fine for a memo.
+    _pages_cache: dict = field(default_factory=dict, compare=False,
+                               repr=False)
 
     @property
     def itemsize(self) -> int:
@@ -74,9 +81,27 @@ class ArrayHandle:
         """Sorted unique page numbers touched by ``region``.
 
         ``region`` is a tuple of ints/slices, one per dimension (missing
-        trailing dimensions mean "all of them", as in numpy).
+        trailing dimensions mean "all of them", as in numpy).  The result is
+        memoized per normalized region (and marked read-only); repeated
+        identical footprints — every time-loop iteration — skip the page
+        math entirely.
         """
-        region = normalize_region(region, self.shape)
+        pages, _cached = self.pages_of(normalize_region(region, self.shape))
+        return pages
+
+    def pages_of(self, nregion: tuple) -> tuple:
+        """(pages, cache_hit) for an *already-normalized* region."""
+        pages = self._pages_cache.get(nregion)
+        if pages is not None:
+            return pages, True
+        pages = self._compute_region_pages(nregion)
+        pages.setflags(write=False)
+        if len(self._pages_cache) >= _PAGES_CACHE_LIMIT:
+            self._pages_cache.clear()
+        self._pages_cache[nregion] = pages
+        return pages, False
+
+    def _compute_region_pages(self, region: tuple) -> np.ndarray:
         strides = self._strides()
         # Determine the innermost dimension from which the region is a full
         # contiguous run; everything inside collapses into one span length.

@@ -38,9 +38,10 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.sim.machine import MachineModel
-from repro.tmk.diffs import apply_diff, diff_nbytes, make_diff
+from repro.tmk.diffs import apply_diff, apply_diffs, diff_nbytes, make_diff
+from repro.tmk.faststate import FastState, fastpath_enabled_from_env
 from repro.tmk.intervals import IntervalRecord, SeenVector
-from repro.tmk.pagespace import ArrayHandle, SharedSpace
+from repro.tmk.pagespace import ArrayHandle, SharedSpace, normalize_region
 
 if TYPE_CHECKING:
     from repro.sim.cluster import ProcEnv
@@ -190,6 +191,15 @@ class TmkNode:
         self.gc_floor: dict[int, int] = {}
         self.epoch = 0                            # barrier counter (GC clock)
 
+        # coherence fast path: vectorized page masks + epoch-keyed region
+        # verdicts (see repro.tmk.faststate).  Mask *maintenance* is
+        # unconditional (the invariants are cheap to keep and always true);
+        # only *consulting* the masks is gated on ``enabled``.
+        enabled = getattr(world, "fastpath", None)
+        if enabled is None:
+            enabled = fastpath_enabled_from_env()
+        self.fast = FastState(self.space.npages, enabled=enabled)
+
         world.nodes[self.pid] = self
 
     # ------------------------------------------------------------------ #
@@ -215,29 +225,118 @@ class TmkNode:
     # access hooks — the simulated page faults
 
     def ensure_read(self, handle: ArrayHandle, region, source=None) -> None:
-        """Validate every page of ``region`` before a read (read faults)."""
+        """Validate every page of ``region`` before a read (read faults).
+
+        Fast path: between acquires ``valid`` bits never regress, so once a
+        footprint has been verified this epoch (or its mask check passes) the
+        per-page walk is skipped entirely.  Race-monitor reporting happens
+        first either way — the fast path elides protocol work, never access
+        events.
+        """
         self._note_access(handle, False, source, region=region)
-        for page in handle.region_pages(region).tolist():
+        nregion = normalize_region(region, handle.shape)
+        fs = self.fast
+        stats = self.world.dsm_stats
+        if fs.enabled:
+            vkey = (handle.name, nregion)
+            if fs.read_verdicts.get(vkey) == fs.epoch:
+                stats.fastpath_hits += 1
+                return
+        pages, cached = handle.pages_of(nregion)
+        if cached:
+            stats.region_cache_hits += 1
+        if fs.enabled:
+            ok = fs.valid[pages]
+            if ok.all():
+                stats.fastpath_hits += 1
+                fs.remember_read(vkey)
+                return
+            stats.fastpath_misses += 1
+            for page in pages[~ok].tolist():
+                self._read_fault_if_needed(page)
+            # validity is monotone until the next acquire (invalidations
+            # only happen in apply_records, on this same main context), so
+            # the whole footprint is now verifiably valid for this epoch
+            fs.remember_read(vkey)
+            return
+        for page in pages.tolist():
             self._read_fault_if_needed(page)
 
     def ensure_write(self, handle: ArrayHandle, region, source=None) -> None:
-        """Validate + twin every page of ``region`` before a write."""
+        """Validate + twin every page of ``region`` before a write.
+
+        The write fast path must be more careful than the read one: while
+        this node's main context is blocked in a fetch, its *server* context
+        can serve a remote request and ``_create_diff`` a page — dropping
+        the twin and regressing ``write_ok`` mid-loop.  The miss path
+        therefore re-checks the mask live for every page rather than
+        iterating a stale ``flatnonzero`` snapshot.
+        """
         self._note_access(handle, True, source, region=region)
-        for page in handle.region_pages(region).tolist():
+        nregion = normalize_region(region, handle.shape)
+        fs = self.fast
+        stats = self.world.dsm_stats
+        if fs.enabled:
+            vkey = (handle.name, nregion)
+            if fs.write_verdicts.get(vkey) == fs.write_gen:
+                stats.fastpath_hits += 1
+                return
+        pages, cached = handle.pages_of(nregion)
+        if cached:
+            stats.region_cache_hits += 1
+        if fs.enabled:
+            ok = fs.write_ok
+            if ok[pages].all():
+                stats.fastpath_hits += 1
+                fs.remember_write(vkey)
+                return
+            stats.fastpath_misses += 1
+            for page in pages.tolist():
+                if not ok[page]:
+                    self._write_fault_if_needed(page)
+            if ok[pages].all():
+                fs.remember_write(vkey)
+            return
+        for page in pages.tolist():
             self._write_fault_if_needed(page)
 
     def ensure_read_elements(self, handle: ArrayHandle, flat_indices,
                              elem_span: int = 1, source=None) -> None:
         self._note_access(handle, False, source, flat_indices=flat_indices,
                           elem_span=elem_span)
-        for page in handle.element_pages(flat_indices, elem_span).tolist():
+        pages = handle.element_pages(flat_indices, elem_span)
+        fs = self.fast
+        if fs.enabled:
+            stats = self.world.dsm_stats
+            ok = fs.valid[pages]
+            if ok.all():
+                stats.fastpath_hits += 1
+                return
+            stats.fastpath_misses += 1
+            for page in pages[~ok].tolist():
+                self._read_fault_if_needed(page)
+            return
+        for page in pages.tolist():
             self._read_fault_if_needed(page)
 
     def ensure_write_elements(self, handle: ArrayHandle, flat_indices,
                               elem_span: int = 1, source=None) -> None:
         self._note_access(handle, True, source, flat_indices=flat_indices,
                           elem_span=elem_span)
-        for page in handle.element_pages(flat_indices, elem_span).tolist():
+        pages = handle.element_pages(flat_indices, elem_span)
+        fs = self.fast
+        if fs.enabled:
+            stats = self.world.dsm_stats
+            ok = fs.write_ok
+            if ok[pages].all():
+                stats.fastpath_hits += 1
+                return
+            stats.fastpath_misses += 1
+            for page in pages.tolist():
+                if not ok[page]:
+                    self._write_fault_if_needed(page)
+            return
+        for page in pages.tolist():
             self._write_fault_if_needed(page)
 
     def _note_access(self, handle: ArrayHandle, write: bool, source,
@@ -281,6 +380,9 @@ class TmkNode:
             m.twin = self.page_bytes(page).copy()
         m.last_written = self.seen[self.pid] + 1   # current open interval id
         self.open_writes.add(page)
+        # valid + twinned + noted in the open interval: nothing left for a
+        # repeat write access to do until a regression clears this bit
+        self.fast.write_ok[page] = True
 
     # ------------------------------------------------------------------ #
     # fetching (fault service, requester side)
@@ -290,6 +392,7 @@ class TmkNode:
         missing = m.missing_writers()
         if not missing:  # notices raced with an aggregated fetch; revalidate
             m.valid = True
+            self.fast.valid[page] = True
             return
         self.world.dsm_stats.fetches += 1
         proc = self.env.proc
@@ -303,6 +406,7 @@ class TmkNode:
             replies.append((w, msg.payload))
         self._apply_replies(page, m, replies)
         m.valid = True
+        self.fast.valid[page] = True
 
     def _apply_replies(self, page: int, m: PageMeta, replies) -> None:
         """Merge diff/page replies into the local copy.
@@ -326,8 +430,8 @@ class TmkNode:
             stats.full_page_fetches += 1
             # re-apply our own preserved modifications (disjoint from any
             # concurrent writer's words in a race-free program)
-            for entry in self.diff_cache.get(page, []):
-                apply_diff(dst, entry.diff)
+            apply_diffs(dst, [entry.diff
+                              for entry in self.diff_cache.get(page, [])])
             for ww, reply in fulls:
                 m.applied[ww] = max(m.applied.get(ww, 0),
                                     reply.full_label, m.pending.get(ww, 0))
@@ -412,6 +516,10 @@ class TmkNode:
         """
         diff = make_diff(self.page_bytes(page), m.twin)
         m.twin = None
+        # may run on the node's *server* context while main is blocked in a
+        # fetch mid-ensure_write: the live mask check there depends on this
+        self.fast.untwin_page(page)
+        self.fast.bump_write_gen()
         stats = self.world.dsm_stats
         stats.diffs_created += 1
         stats.diff_bytes_created += diff_nbytes(diff)
@@ -452,6 +560,7 @@ class TmkNode:
         """End the open interval (at a release); record its writes."""
         if not self.open_writes:
             return None
+        self.fast.close_interval()
         new_id = self.seen[self.pid] + 1
         self.seen.v[self.pid] = new_id
         vtsum = sum(self.seen.v)
@@ -480,6 +589,9 @@ class TmkNode:
         ``log=False``: the manager has distributed those records to everyone
         already, so re-forwarding them would only duplicate traffic.
         """
+        # this is the acquire edge: the one place ``valid`` bits can regress
+        self.fast.bump_epoch()
+        self.world.dsm_stats.epoch_bumps += 1
         writers_per_page: dict[int, set] = {}
         for rec in records:
             if not self.seen.observe(rec):
@@ -512,6 +624,7 @@ class TmkNode:
             self._create_diff(page, m, charge=self.env.sim.current)
         if m.valid:
             m.valid = False
+            self.fast.invalidate_page(page)
             self.world.dsm_stats.invalidations += 1
 
     # ------------------------------------------------------------------ #

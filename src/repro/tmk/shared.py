@@ -31,6 +31,7 @@ class SharedArray:
         self.node = node
         self.handle = handle
         self._view = node.view(handle)
+        self._full_region = tuple(slice(None) for _ in handle.shape)
 
     # ------------------------------------------------------------------ #
 
@@ -76,20 +77,22 @@ class SharedArray:
 
     def gather(self, flat_indices, source=None) -> np.ndarray:
         """Read scattered elements (by C-order flat index)."""
-        self.node.ensure_read_elements(self.handle, flat_indices,
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        self.node.ensure_read_elements(self.handle, idx,
                                        source=source or f"{self.name}.gather")
-        return self._view.reshape(-1)[np.asarray(flat_indices)]
+        return self._view.reshape(-1)[idx]
 
     def scatter_write(self, flat_indices, values, source=None) -> None:
         """Write scattered elements (by C-order flat index)."""
+        idx = np.asarray(flat_indices, dtype=np.int64)
         self.node.ensure_write_elements(
-            self.handle, flat_indices,
+            self.handle, idx,
             source=source or f"{self.name}.scatter_write")
-        self._view.reshape(-1)[np.asarray(flat_indices)] = values
+        self._view.reshape(-1)[idx] = values
 
     def scatter_add(self, flat_indices, values, source=None) -> None:
         """Accumulate into scattered elements (read-modify-write)."""
-        idx = np.asarray(flat_indices)
+        idx = np.asarray(flat_indices, dtype=np.int64)
         self.node.ensure_write_elements(
             self.handle, idx, source=source or f"{self.name}.scatter_add")
         np.add.at(self._view.reshape(-1), idx, values)
@@ -98,7 +101,7 @@ class SharedArray:
 
     def _norm(self, region):
         if region is Ellipsis:
-            return tuple(slice(None) for _ in self.handle.shape)
+            return self._full_region
         if not isinstance(region, tuple):
             region = (region,)
         return region

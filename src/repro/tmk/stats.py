@@ -34,6 +34,11 @@ class DsmStats:
     pushes: int = 0                # enhanced-interface data pushes
     aggregated_validates: int = 0  # enhanced-interface bulk fetches
     tree_reductions: int = 0       # §8 extension: tree reduction operations
+    # fast-path observability (wall-clock only; no virtual-time effect)
+    fastpath_hits: int = 0         # ensure_* calls satisfied by mask/verdict
+    fastpath_misses: int = 0       # ensure_* calls that walked the slow path
+    region_cache_hits: int = 0     # region->pages memo hits
+    epoch_bumps: int = 0           # acquire edges (apply_records calls)
 
     def snapshot(self) -> "DsmStats":
         return DsmStats(**vars(self))

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.tmk.diffs import RUN_HEADER_BYTES, WORD, apply_diff, diff_nbytes, make_diff
+from repro.tmk.diffs import (RUN_HEADER_BYTES, WORD, apply_diff, apply_diffs,
+                             diff_nbytes, make_diff)
 
 PAGE = 4096
 
@@ -214,3 +215,59 @@ def test_run_structure_property(start_word, nwords):
     diff = make_diff(cur, twin)
     assert diff == [(lo, cur[lo:hi].tobytes())]
     assert diff_nbytes(diff) == (hi - lo) + RUN_HEADER_BYTES
+
+
+# ---------------------------------------------------------------------- #
+# batch application (apply_diffs)
+
+def test_apply_diffs_empty_batch_is_noop():
+    target = page(3)
+    apply_diffs(target, [])
+    assert np.array_equal(target, page(3))
+    apply_diffs(target, [[], []])    # empty diffs inside the batch too
+    assert np.array_equal(target, page(3))
+
+
+def test_apply_diffs_matches_sequential_application():
+    rng = np.random.default_rng(11)
+    twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+    diffs = []
+    for seed in range(4):
+        cur = twin.copy()
+        r = np.random.default_rng(seed)
+        for _ in range(5):
+            w = int(r.integers(0, PAGE // WORD))
+            cur[w * WORD:(w + 1) * WORD] = r.integers(0, 256, WORD)
+        diffs.append(make_diff(cur, twin))
+    seq = twin.copy()
+    for d in diffs:
+        apply_diff(seq, d)
+    batch = twin.copy()
+    apply_diffs(batch, diffs)
+    assert np.array_equal(batch, seq)
+
+
+def test_apply_diffs_overlap_later_wins():
+    """Overlapping runs resolve in list order: the last writer's bytes
+    land, exactly as the sequential loop they replace."""
+    twin = page(0)
+    a = twin.copy()
+    a[100:108] = 1
+    b = twin.copy()
+    b[104:112] = 2
+    target = twin.copy()
+    apply_diffs(target, [make_diff(a, twin), make_diff(b, twin)])
+    assert target[100] == 1 and target[104] == 2 and target[108] == 2
+
+
+def test_memoryview_payloads_behave_like_bytes():
+    """make_diff's zero-copy payloads must satisfy every consumer that
+    treated them as bytes: equality, len, buffer protocol."""
+    twin = page(0)
+    cur = twin.copy()
+    cur[200:208] = 5
+    diff = make_diff(cur, twin)
+    off, data = diff[0]
+    assert data == cur[200:208].tobytes()
+    assert len(data) == 8
+    assert np.frombuffer(data, dtype=np.uint8)[0] == 5
