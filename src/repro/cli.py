@@ -7,6 +7,7 @@ Commands
 ``figures``              regenerate the paper's figures/tables (bench sizes)
 ``explain APP``          print both compilers' compilation reports
 ``racecheck APP VARIANT``  fuzz schedules + happens-before race detection
+``chaos``                sweep fault seeds; assert numerics vs fault-free
 ``bench``                time simulator kernels in wall-clock seconds
 ``list``                 list applications, variants and presets
 
@@ -16,6 +17,7 @@ Examples::
     python -m repro compare jacobi --preset test
     python -m repro explain mgs
     python -m repro racecheck igrid spf --seeds 5
+    python -m repro chaos --seeds 3 --apps jacobi mgs --out chaos.json
     python -m repro bench --smoke
     python -m repro figures
 """
@@ -126,6 +128,36 @@ def cmd_racecheck(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from repro.eval.chaos import chaos_sweep
+    from repro.sim.faults import FaultPlan, FaultRates
+
+    plan = FaultPlan.default()
+    rates = FaultRates(
+        drop=plan.rates.drop if args.drop is None else args.drop,
+        dup=plan.rates.dup if args.dup is None else args.dup,
+        reorder=plan.rates.reorder if args.reorder is None else args.reorder,
+        delay=plan.rates.delay if args.delay is None else args.delay)
+    from dataclasses import replace
+    plan = replace(plan, rates=rates,
+                   stalls=() if args.no_stall else plan.stalls)
+    report = chaos_sweep(apps=args.apps, variants=args.variants,
+                         seeds=args.seeds, nprocs=args.nprocs,
+                         preset=args.preset, plan=plan,
+                         progress=(None if args.quiet else
+                                   lambda m: print(m, file=sys.stderr)))
+    print(report.format())
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(report.as_doc(), fh, indent=2, sort_keys=True)
+        print(f"results -> {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.eval.report import assemble_report
     print(assemble_report(args.results_dir))
@@ -219,6 +251,34 @@ def main(argv=None) -> int:
                    help="problem size preset (default test: the harness "
                         "runs the app once per seed)")
     p.set_defaults(fn=cmd_racecheck)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run app x variant under injected network faults and assert "
+             "the numerics match the fault-free run")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="number of fault seeds per pair (default 3)")
+    p.add_argument("--apps", nargs="*", default=None, choices=APPS,
+                   help="applications to sweep (default: all)")
+    p.add_argument("--variants", nargs="*", default=None,
+                   choices=[v for v in VARIANTS if v != "seq"],
+                   help="variants to sweep (default: spf tmk xhpf pvme)")
+    p.add_argument("--drop", type=float, default=None,
+                   help="per-message drop probability (default 0.02)")
+    p.add_argument("--dup", type=float, default=None,
+                   help="per-message duplication probability (default 0.02)")
+    p.add_argument("--reorder", type=float, default=None,
+                   help="per-message reordering probability (default 0.05)")
+    p.add_argument("--delay", type=float, default=None,
+                   help="per-message extra-delay probability (default 0.05)")
+    p.add_argument("--no-stall", action="store_true",
+                   help="disable the default node-stall window")
+    p.add_argument("--out", default=None,
+                   help="write the sweep report as JSON to this path")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-run progress on stderr")
+    _add_common(p)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "bench",

@@ -39,6 +39,7 @@ from repro.compiler import analysis
 from repro.compiler.ir import Mark, ParallelLoop, Program, SeqBlock
 from repro.compiler.partition import block_range, cyclic_indices
 from repro.sim.cluster import RunResult
+from repro.sim.faults import FaultPlan
 from repro.sim.machine import MachineModel
 from repro.tmk import enhanced
 from repro.tmk.api import Tmk, tmk_run
@@ -578,7 +579,8 @@ def run_spf(program: Program, nprocs: int = 8,
             model: Optional[MachineModel] = None,
             gc_epochs: Optional[int] = 8,
             schedule_seed: Optional[int] = None,
-            racecheck: bool = False) -> RunResult:
+            racecheck: bool = False,
+            faults: Optional[FaultPlan] = None) -> RunResult:
     """Compile and run; scalars land in ``result.scalars``."""
     exe = compile_spf(program, nprocs, options)
 
@@ -589,6 +591,7 @@ def run_spf(program: Program, nprocs: int = 8,
         return exe.run_on(tmk)
 
     result = tmk_run(nprocs, main, setup, model=model, gc_epochs=gc_epochs,
-                     schedule_seed=schedule_seed, racecheck=racecheck)
+                     schedule_seed=schedule_seed, racecheck=racecheck,
+                     faults=faults)
     result.scalars = result.results[0]
     return result

@@ -1,0 +1,40 @@
+"""Uniform parsing of boolean environment toggles.
+
+Every on/off switch the runtime reads from the environment
+(``TMK_FASTPATH``, ``TMK_FAULTS``) goes through :func:`env_flag`, so the
+accepted spellings are identical everywhere: ``0 / false / off / no``
+disable, ``1 / true / on / yes`` enable, case-insensitively.  An empty or
+unset variable keeps the caller's default; anything else is an error —
+``TMK_FASTPATH=flase`` silently enabling the fast path is exactly the kind
+of typo this helper exists to catch.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_flag"]
+
+_FALSY = frozenset({"0", "false", "off", "no"})
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse the boolean environment variable ``name``.
+
+    Unset or empty keeps ``default``; unrecognized spellings raise
+    ``ValueError`` rather than silently coercing.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if not value:
+        return default
+    if value in _FALSY:
+        return False
+    if value in _TRUTHY:
+        return True
+    raise ValueError(
+        f"{name}={raw!r}: expected one of "
+        f"{sorted(_TRUTHY)} / {sorted(_FALSY)}")

@@ -1,6 +1,7 @@
 """Evaluation harness: runs every variant of every application and
 regenerates each table and figure of the paper (see DESIGN.md §4)."""
 
+from repro.eval.chaos import ChaosCell, ChaosReport, chaos_sweep
 from repro.eval.constants import PAPER, PaperNumbers
 from repro.eval.experiments import (VariantResult, run_variant,
                                     run_all_variants, VARIANTS)
@@ -9,6 +10,9 @@ from repro.eval.tables import (format_table1, format_speedup_figure,
                                format_traffic_table, format_comparison)
 
 __all__ = [
+    "ChaosCell",
+    "ChaosReport",
+    "chaos_sweep",
     "PAPER",
     "PaperNumbers",
     "VariantResult",

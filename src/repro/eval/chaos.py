@@ -1,0 +1,269 @@
+"""Chaos harness: prove numerics survive an unreliable interconnect.
+
+``python -m repro racecheck`` fuzzes *schedules*; this module fuzzes the
+*wire*.  For every requested (application, variant) pair it first runs the
+pair fault-free to capture ground truth, then re-runs it under a seeded
+:class:`~repro.sim.faults.FaultPlan` — messages dropped, duplicated,
+reordered and delayed, one node stalled — once per seed, and asserts the
+answer did not move:
+
+* **DSM variants** (``spf``/``tmk``/...): the coherent final contents of
+  every application array (a barrier-ordered readback on processor 0,
+  the same one the racecheck harness uses) must be **bit-identical** to
+  the fault-free run; reduction scalars must match within the usual
+  signature tolerance (lock-folded reductions combine in lock-grant
+  order, which timing legitimately perturbs).
+* **Message-passing variants** (``xhpf``/``pvme``): the scalar signature
+  must be **bit-identical** — every checksum is computed from explicit
+  sends whose sources and contents are timing-independent.
+
+Any divergence means the reliable-delivery sublayer leaked a fault into
+the computation — a dropped message papered over, a duplicate applied
+twice, an ordering inversion observed — and the sweep fails loudly with
+the offending cell.  Command line::
+
+    python -m repro chaos --seeds 3 --preset bench --out chaos.json
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.apps.common import get_app, signatures_close
+from repro.compiler.spf import SpfOptions, compile_spf
+from repro.eval.racecheck import _hash, _wrap_with_readback
+from repro.sim.faults import FaultPlan
+from repro.sim.machine import MachineModel
+from repro.tmk.api import tmk_run
+
+__all__ = ["ChaosCell", "ChaosReport", "chaos_sweep", "DEFAULT_VARIANTS"]
+
+#: the four variants of the paper's Figures 1/2
+DEFAULT_VARIANTS = ("spf", "tmk", "xhpf", "pvme")
+
+_DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
+
+
+@dataclass
+class ChaosCell:
+    """One (app, variant, seed) run under faults, judged against truth."""
+
+    app: str
+    variant: str
+    seed: int
+    ok: bool
+    arrays_identical: bool       # DSM: readback hashes; MP: vacuously True
+    scalars_ok: bool
+    time: float
+    retransmissions: int
+    dup_suppressed: int
+    acks: int
+    faults: dict = field(default_factory=dict)   # FaultStats.as_dict()
+    mismatches: list = field(default_factory=list)
+
+    def as_doc(self) -> dict:
+        return {
+            "app": self.app, "variant": self.variant, "seed": self.seed,
+            "ok": self.ok, "arrays_identical": self.arrays_identical,
+            "scalars_ok": self.scalars_ok, "time": self.time,
+            "retransmissions": self.retransmissions,
+            "dup_suppressed": self.dup_suppressed, "acks": self.acks,
+            "faults": dict(self.faults), "mismatches": list(self.mismatches),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Verdict of :func:`chaos_sweep` over every cell."""
+
+    preset: str
+    nprocs: int
+    seeds: list
+    plan: dict                   # serialized FaultPlan knobs
+    cells: list = field(default_factory=list)
+    errors: list = field(default_factory=list)   # (app, variant, seed, error)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and all(c.ok for c in self.cells)
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(c.retransmissions for c in self.cells)
+
+    def as_doc(self) -> dict:
+        return {
+            "kind": "chaos-sweep",
+            "preset": self.preset, "nprocs": self.nprocs,
+            "seeds": list(self.seeds), "plan": dict(self.plan),
+            "ok": self.ok,
+            "total_retransmissions": self.total_retransmissions,
+            "cells": [c.as_doc() for c in self.cells],
+            "errors": [list(e) for e in self.errors],
+        }
+
+    def format(self) -> str:
+        lines = [f"chaos sweep: preset={self.preset} n={self.nprocs} "
+                 f"seeds={self.seeds}"]
+        pairs: dict = {}
+        for c in self.cells:
+            pairs.setdefault((c.app, c.variant), []).append(c)
+        for (app, variant), cells in sorted(pairs.items()):
+            bad = [c for c in cells if not c.ok]
+            retrans = sum(c.retransmissions for c in cells)
+            dropped = sum(c.faults.get("drops", 0) for c in cells)
+            status = "OK " if not bad else "FAIL"
+            lines.append(
+                f"  {status} {app:8s} {variant:8s} seeds={len(cells)} "
+                f"drops={dropped:4d} retrans={retrans:4d}")
+            for c in bad:
+                lines.append(f"       seed {c.seed}: "
+                             + "; ".join(c.mismatches))
+        for app, variant, seed, err in self.errors:
+            lines.append(f"  ERROR {app}/{variant} seed {seed}: {err}")
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAIL'} "
+                     f"({self.total_retransmissions} retransmission(s) "
+                     f"recovered across the sweep)")
+        return "\n".join(lines)
+
+
+def _dsm_body(spec, variant: str, params: dict, nprocs: int):
+    """(setup, main-with-readback, scalars_of) for one DSM variant."""
+    if variant == "tmk":
+        def setup(space):
+            spec.hand_tmk_setup(space, params)
+        body = lambda tmk: spec.hand_tmk(tmk, params)   # noqa: E731
+        scalars_of = None
+    else:
+        if variant == "spf_opt":
+            if spec.spf_opt_options is None:
+                raise ValueError(f"{spec.name} has no hand-optimized variant")
+            options = spec.spf_opt_options()
+        elif variant == "spf_old":
+            options = SpfOptions(improved_interface=False)
+        else:
+            options = SpfOptions()
+        exe = compile_spf(spec.build_program(params), nprocs, options)
+        setup = exe.setup_space
+        body = exe.run_on
+        scalars_of = 0
+    return setup, _wrap_with_readback(body), scalars_of
+
+
+def _dsm_signature(run, scalars_of):
+    from repro.apps.common import combine_signatures
+    parts = [r[0] for r in run.results]
+    return (dict(parts[scalars_of]) if scalars_of is not None
+            else combine_signatures(parts))
+
+
+def _run_dsm(setup, main, nprocs, model, faults):
+    run = tmk_run(nprocs, main, setup, model=model, faults=faults)
+    _out0, arrays = run.results[0]
+    hashes = {name: _hash(a) for name, a in arrays.items()}
+    return run, hashes
+
+
+def _run_mp(app: str, variant: str, nprocs, preset, model, faults):
+    from repro.eval.experiments import run_variant
+    return run_variant(app, variant, nprocs=nprocs, preset=preset,
+                       model=model, seq_time=1.0, faults=faults)
+
+
+def chaos_sweep(apps: Optional[Sequence[str]] = None,
+                variants: Optional[Sequence[str]] = None,
+                seeds: Union[int, Sequence[int]] = 3,
+                nprocs: int = 8, preset: str = "bench",
+                model: Optional[MachineModel] = None,
+                plan: Optional[FaultPlan] = None,
+                progress=None) -> ChaosReport:
+    """Sweep fault seeds over app×variant pairs and judge the numerics.
+
+    ``seeds`` is a count (seeds ``0..K-1``) or an explicit sequence.
+    ``plan`` supplies the fault rates/schedule (default:
+    :meth:`FaultPlan.default`); each seed runs under ``plan.with_seed``.
+    """
+    from repro.eval.constants import APPS
+
+    apps = list(apps) if apps else list(APPS)
+    variants = list(variants) if variants else list(DEFAULT_VARIANTS)
+    seed_list = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
+    if not seed_list:
+        raise ValueError("chaos sweep needs at least one fault seed")
+    plan = plan if plan is not None else FaultPlan.default()
+
+    report = ChaosReport(
+        preset=preset, nprocs=nprocs, seeds=seed_list,
+        plan={"rates": vars(plan.rates), "delay_max": plan.delay_max,
+              "reorder_lag": plan.reorder_lag,
+              "stalls": [vars(s) for s in plan.stalls],
+              "slow_nodes": dict(plan.slow_nodes),
+              "max_attempts": plan.max_attempts})
+
+    for app in apps:
+        spec = get_app(app)
+        params = spec.params(preset)
+        for variant in variants:
+            if progress:
+                progress(f"chaos {app}/{variant}: fault-free baseline")
+            if variant in _DSM_VARIANTS:
+                setup, main, scalars_of = _dsm_body(spec, variant, params,
+                                                    nprocs)
+                base_run, base_hashes = _run_dsm(setup, main, nprocs,
+                                                 model, None)
+                base_sig = _dsm_signature(base_run, scalars_of)
+            else:
+                base = _run_mp(app, variant, nprocs, preset, model, None)
+                base_hashes, base_sig = {}, base.signature
+
+            for seed in seed_list:
+                if progress:
+                    progress(f"chaos {app}/{variant}: fault seed {seed}")
+                faults = plan.with_seed(seed)
+                mismatches: list = []
+                try:
+                    if variant in _DSM_VARIANTS:
+                        run, hashes = _run_dsm(setup, main, nprocs, model,
+                                               faults)
+                        sig = _dsm_signature(run, scalars_of)
+                        arrays_ok = hashes == base_hashes
+                        if not arrays_ok:
+                            mismatches += [
+                                f"array {n!r} diverged" for n in sorted(
+                                    set(base_hashes) | set(hashes))
+                                if base_hashes.get(n) != hashes.get(n)]
+                        # lock-grant order is timing-dependent, so folded
+                        # reduction scalars are close, not bit-stable
+                        scalars_ok = signatures_close(sig, base_sig)
+                        cell_time = run.time
+                        net = run.stats
+                        fstats = run.fault_stats
+                    else:
+                        res = _run_mp(app, variant, nprocs, preset, model,
+                                      faults)
+                        arrays_ok = True
+                        scalars_ok = res.signature == base_sig
+                        cell_time = res.time
+                        net = None
+                        fstats = res.fault_stats
+                        cell_retrans = res.retransmissions
+                    if not scalars_ok:
+                        mismatches.append("scalar signature diverged")
+                except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                    report.errors.append(
+                        (app, variant, seed, f"{type(exc).__name__}: {exc}"))
+                    continue
+                report.cells.append(ChaosCell(
+                    app=app, variant=variant, seed=seed,
+                    ok=arrays_ok and scalars_ok,
+                    arrays_identical=arrays_ok, scalars_ok=scalars_ok,
+                    time=cell_time,
+                    retransmissions=(net.retransmissions if net is not None
+                                     else cell_retrans),
+                    dup_suppressed=(net.dup_suppressed if net is not None
+                                    else 0),
+                    acks=(net.acks if net is not None else 0),
+                    faults=fstats.as_dict() if fstats is not None else {},
+                    mismatches=mismatches))
+    return report

@@ -29,6 +29,7 @@ from repro.compiler.spf import SpfOptions, run_spf
 from repro.compiler.xhpf import run_xhpf
 from repro.msg.pvme import Pvme
 from repro.sim.cluster import Cluster
+from repro.sim.faults import FaultPlan
 from repro.sim.machine import MachineModel
 from repro.tmk.api import tmk_run
 
@@ -58,6 +59,8 @@ class VariantResult:
     events: int = 0              # simulator events processed (whole run) —
                                  # wall-clock throughput denominator for
                                  # ``python -m repro bench``
+    retransmissions: int = 0     # reliable-delivery re-sends (fault runs)
+    fault_stats: Optional[object] = None   # FaultStats when faults attached
 
     @property
     def speedup(self) -> float:
@@ -87,7 +90,8 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
                 spf_options: Optional[SpfOptions] = None,
                 gc_epochs: Optional[int] = 8,
                 schedule_seed: Optional[int] = None,
-                racecheck: bool = False) -> VariantResult:
+                racecheck: bool = False,
+                faults: Optional[FaultPlan] = None) -> VariantResult:
     """Run one (application, variant) pair and collect its metrics.
 
     ``schedule_seed`` perturbs same-timestamp event ordering in the
@@ -95,7 +99,11 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
     happens-before :class:`~repro.tmk.racecheck.RaceMonitor` and stores
     its verdict in ``.races`` — only meaningful for the DSM variants
     (``spf``/``spf_opt``/``spf_old``/``tmk``); message-passing variants
-    share nothing, so asking for it there is an error.
+    share nothing, so asking for it there is an error.  ``faults``
+    attaches a seeded :class:`~repro.sim.faults.FaultPlan` to the
+    interconnect (any variant); the reliable-delivery sublayer recovers
+    transparently and ``.retransmissions``/``.fault_stats`` report what
+    it took.
     """
     spec = get_app(app)
     params = spec.params(preset)
@@ -122,7 +130,8 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
         program = spec.build_program(params)
         result = run_spf(program, nprocs=nprocs, options=options,
                          model=model, gc_epochs=gc_epochs,
-                         schedule_seed=schedule_seed, racecheck=racecheck)
+                         schedule_seed=schedule_seed, racecheck=racecheck,
+                         faults=faults)
         signature = dict(result.scalars)
         dsm = result.dsm_stats
     elif variant in ("xhpf", "xhpf_ie"):
@@ -130,7 +139,8 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
         program = spec.build_program(params)
         options = XhpfOptions(inspector_executor=(variant == "xhpf_ie"))
         result = run_xhpf(program, nprocs=nprocs, model=model,
-                          options=options, schedule_seed=schedule_seed)
+                          options=options, schedule_seed=schedule_seed,
+                          faults=faults)
         signature = dict(result.scalars)
         dsm = None
     elif variant == "tmk":
@@ -142,17 +152,19 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
 
         result = tmk_run(nprocs, main, setup, model=model,
                          gc_epochs=gc_epochs,
-                         schedule_seed=schedule_seed, racecheck=racecheck)
+                         schedule_seed=schedule_seed, racecheck=racecheck,
+                         faults=faults)
         signature = combine_signatures(result.results)
         dsm = result.dsm_stats
     elif variant == "pvme":
         cluster = Cluster(nprocs=nprocs, model=model,
-                          schedule_seed=schedule_seed)
+                          schedule_seed=schedule_seed, faults=faults)
 
         def pvme_main(env):
             return spec.hand_pvme(Pvme(env), params)
 
         result = cluster.run(pvme_main)
+        result.fault_stats = cluster.net.fault_stats
         signature = combine_signatures(result.results)
         dsm = None
     else:
@@ -170,6 +182,8 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
                     for k, v in wtraffic.by_category.items()},
         races=getattr(result, "racecheck", None),
         events=getattr(result, "events", 0),
+        retransmissions=result.stats.retransmissions,
+        fault_stats=getattr(result, "fault_stats", None),
     )
 
 

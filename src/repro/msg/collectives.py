@@ -135,17 +135,27 @@ def alltoall(comm: Comm, values: list, tag: Optional[int] = None) -> list:
 
 
 def mp_barrier(comm: Comm, tag: Optional[int] = None) -> None:
-    """Dissemination barrier: ``n * ceil(log2 n)`` small messages."""
-    tag = comm.next_tag() if tag is None else tag
+    """Dissemination barrier: ``n * ceil(log2 n)`` small messages.
+
+    Each round draws its own tag.  The old scheme used ``tag + round_no``,
+    which silently reused tag values that ``next_tag`` would hand out to
+    the *next* collective — a later broadcast's message could match a
+    stale barrier recv.  All ranks call ``next_tag`` in lockstep per
+    round, so the drawn tags agree; an explicit ``tag`` reserves the
+    ``ceil(log2 n)`` consecutive values after it.
+    """
     if comm.size == 1:
+        if tag is None:
+            comm.next_tag()
         return
     dist = 1
     round_no = 0
     while dist < comm.size:
+        round_tag = comm.next_tag() if tag is None else tag + round_no
         dst = (comm.rank + dist) % comm.size
         src = (comm.rank - dist) % comm.size
-        comm.send(dst, round_no, tag=tag + round_no, nbytes=4,
+        comm.send(dst, round_no, tag=round_tag, nbytes=4,
                   category="sync")
-        comm.recv(src=src, tag=tag + round_no)
+        comm.recv(src=src, tag=round_tag)
         dist <<= 1
         round_no += 1

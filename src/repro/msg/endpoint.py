@@ -25,17 +25,29 @@ __all__ = ["Comm", "payload_nbytes", "ANY_SOURCE", "ANY_TAG"]
 
 
 def payload_nbytes(payload: Any) -> int:
-    """Wire size of a payload: numpy data verbatim, scalars as words."""
+    """Wire size of a payload: numpy data verbatim, scalars as words.
+
+    Object-dtype arrays are rejected: ``.nbytes`` would report pointer
+    bytes, silently undercounting the wire size.  Numpy scalars — 0-d
+    arrays included — are sized like the Python scalars they box (8 bytes,
+    16 for complex), not by their in-memory itemsize.
+    """
     if isinstance(payload, np.ndarray):
+        if payload.dtype.kind == "O":
+            raise TypeError("cannot size object-dtype ndarray (.nbytes "
+                            "reports pointer bytes, not wire size); pass "
+                            "nbytes explicitly")
+        if payload.ndim == 0:
+            return 16 if payload.dtype.kind == "c" else 8
         return payload.nbytes
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):
         return len(payload.encode("utf-8"))
-    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
-        return 8
-    if isinstance(payload, complex):
+    if isinstance(payload, (complex, np.complexfloating)):
         return 16
+    if isinstance(payload, (bool, int, float, np.generic)):
+        return 8
     if isinstance(payload, (tuple, list)):
         return sum(payload_nbytes(p) for p in payload) + 8
     if isinstance(payload, dict):
@@ -45,6 +57,27 @@ def payload_nbytes(payload: Any) -> int:
         return 0
     raise TypeError(f"cannot size payload of type {type(payload).__name__}; "
                     f"pass nbytes explicitly")
+
+
+class _Carrier:
+    """Marker payload of a header-only segment packet.
+
+    Segmented sends split one logical transfer into fixed-size packets; the
+    real payload rides the last packet and the earlier ones carry only
+    their share of the bytes.  They used to carry ``None`` — making a
+    transported payload that is legitimately ``None`` indistinguishable
+    from a carrier and looping the receiver forever — so carriers are now
+    explicit objects, tagged with their position for debuggability.
+    """
+
+    __slots__ = ("index", "total")
+
+    def __init__(self, index: int, total: int):
+        self.index = index
+        self.total = total
+
+    def __repr__(self) -> str:
+        return f"_Carrier({self.index + 1}/{self.total})"
 
 
 class Comm:
@@ -72,8 +105,10 @@ class Comm:
             # header-only carriers of their share of the bytes
             full, last = divmod(size, self.packet_bytes)
             sizes = [self.packet_bytes] * full + ([last] if last else [])
-            for part in sizes[:-1]:
-                self.net.send(self.env.proc, self.rank, dst, None, tag=tag,
+            total = len(sizes)
+            for i, part in enumerate(sizes[:-1]):
+                self.net.send(self.env.proc, self.rank, dst,
+                              _Carrier(i, total), tag=tag,
                               nbytes=part, category=cat)
             self.net.send(self.env.proc, self.rank, dst, payload, tag=tag,
                           nbytes=sizes[-1], category=cat)
@@ -87,12 +122,22 @@ class Comm:
             if src == ANY_SOURCE:
                 raise ValueError("segmented transfers require an explicit "
                                  "source (packets must not interleave)")
-            # consume header-only packets until the payload-carrying one
+            if tag == ANY_TAG:
+                # two concurrent segmented sends from the same source with
+                # different tags would misassemble under ANY_TAG matching
+                raise ValueError("segmented transfers require an explicit "
+                                 "tag (packets must not interleave)")
+            # consume header-only carrier packets until the payload packet
             while True:
                 msg = self.net.recv(self.env.proc, self.rank, src=src, tag=tag)
-                if msg.payload is not None:
+                if not isinstance(msg.payload, _Carrier):
                     return msg.payload
         msg = self.net.recv(self.env.proc, self.rank, src=src, tag=tag)
+        if isinstance(msg.payload, _Carrier):
+            raise RuntimeError(
+                f"unsegmented recv matched a segment carrier {msg.payload!r} "
+                f"(src={msg.src}, tag={msg.tag}); sender used packet_bytes "
+                f"but this endpoint does not")
         return msg.payload
 
     def recv_msg(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):

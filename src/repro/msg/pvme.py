@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.msg import collectives as coll
-from repro.msg.endpoint import Comm
+from repro.msg.endpoint import ANY_SOURCE, ANY_TAG, Comm
 from repro.sim.cluster import ProcEnv
 
 __all__ = ["Pvme"]
@@ -34,7 +34,7 @@ class Pvme:
     def send(self, dst: int, payload: Any, tag: int = 0) -> None:
         self.comm.send(dst, payload, tag=tag)
 
-    def recv(self, src: int = -1, tag: int = -1) -> Any:
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         return self.comm.recv(src=src, tag=tag)
 
     def exchange(self, peer: int, payload: Any, tag: int = 0) -> Any:

@@ -15,6 +15,8 @@ This package stands in for the paper's physical 8-node IBM SP/2.  It provides
 """
 
 from repro.sim.engine import Simulator, Process, SimError, Deadlock
+from repro.sim.faults import (FaultInjector, FaultPlan, FaultRates,
+                              FaultStats, NodeStall)
 from repro.sim.machine import MachineModel, SP2_MODEL
 from repro.sim.network import Network, Message, NetworkStats, ANY_SOURCE, ANY_TAG
 from repro.sim.cluster import Cluster, ProcEnv, RunResult
@@ -24,6 +26,11 @@ __all__ = [
     "Process",
     "SimError",
     "Deadlock",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRates",
+    "FaultStats",
+    "NodeStall",
     "MachineModel",
     "SP2_MODEL",
     "Network",

@@ -202,6 +202,9 @@ class Simulator:
         self._pending_nondaemon = 0
         self.events = 0            # conductor pops + elided holds
         self.elided_holds = 0
+        # zero-arg callables returning a diagnostic string, appended to the
+        # Deadlock message (the Network registers its mailbox/waiter report)
+        self.diagnostics: list[Callable[[], str]] = []
 
     # ------------------------------------------------------------------ #
     # construction
@@ -313,9 +316,14 @@ class Simulator:
                         sites.append(f"{p.name} parked at {p.park_token!r}")
                     else:
                         sites.append(f"{p.name} blocked (no park site)")
-                raise Deadlock(
-                    f"no events remain but {len(live)} process(es) still "
-                    f"blocked: " + "; ".join(sites))
+                detail = (f"no events remain but {len(live)} process(es) "
+                          f"still blocked: " + "; ".join(sites))
+                for diag in self.diagnostics:
+                    try:
+                        detail += "\n" + diag()
+                    except Exception as exc:  # noqa: BLE001 - best effort
+                        detail += f"\n(diagnostic failed: {exc!r})"
+                raise Deadlock(detail)
             return self.now
         finally:
             self._teardown()

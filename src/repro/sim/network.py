@@ -13,6 +13,36 @@ Every message carries an accounting *category* (``"data"``, ``"sync"``,
 and 3 report total message counts and total kilobytes per program; the
 :class:`NetworkStats` object accumulates exactly those, per category, and the
 evaluation harness snapshots it per run.
+
+Reliable delivery
+-----------------
+
+By default the wire is perfect, matching the paper's SP/2 switch.  When the
+:class:`Network` is built with a :class:`~repro.sim.faults.FaultPlan`, every
+wire transmission first passes through the seeded
+:class:`~repro.sim.faults.FaultInjector`, which may drop, duplicate, delay,
+or reorder it, or defer it through a node-stall window.  A plan with
+``reliable=True`` (the default) also arms the recovery sublayer:
+
+* each ``(src, dst)`` pair numbers its messages with consecutive **sequence
+  numbers**;
+* the receiver buffers out-of-order arrivals and releases them to the
+  mailbox strictly in send order (restoring the per-pair FIFO guarantee the
+  protocol layers above assume), suppressing duplicates;
+* every arrival — including suppressed duplicates, so lost acks heal — is
+  answered with a **cumulative ack** ("everything below ``n`` received");
+* the sender keeps unacked messages and re-transmits on a timeout of
+  *expected remaining flight time* plus an exponentially backed-off slack
+  (``rto_slack · 2^(attempt-1)``), giving up with a :class:`SimError` after
+  ``max_attempts`` transmissions.
+
+Acks and retransmissions are conductor-level control events: they consume
+no link occupancy and are *not* counted in ``messages``/``bytes`` (which
+model the application-level traffic of the paper's tables); they are
+surfaced separately as ``retransmissions``/``acks``/``dup_suppressed`` on
+:class:`NetworkStats`.  With no plan attached the send path is
+arithmetically identical to the historical one — virtual times, message
+counts, and byte totals are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -22,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.sim.engine import Process, SimError, Simulator
+from repro.sim.faults import FaultInjector, FaultPlan, FaultStats
 from repro.sim.machine import MachineModel
 
 __all__ = ["Network", "Message", "NetworkStats", "ANY_SOURCE", "ANY_TAG"]
@@ -42,6 +73,7 @@ class Message:
     category: str
     sent_at: float
     delivered_at: float = 0.0
+    seq: int = -1           # per-(src, dst) sequence number; -1 = unnumbered
 
 
 @dataclass
@@ -50,11 +82,17 @@ class NetworkStats:
 
     ``messages``/``bytes`` count every network message including protocol
     requests and synchronization, which is how the paper counts (e.g. a
-    TreadMarks page fault is *two* messages: request and response).
+    TreadMarks page fault is *two* messages: request and response).  The
+    reliability counters (``retransmissions``, ``acks``, ``dup_suppressed``)
+    track recovery-sublayer control traffic separately — they stay zero on a
+    perfect wire.
     """
 
     messages: int = 0
     bytes: int = 0
+    retransmissions: int = 0
+    acks: int = 0
+    dup_suppressed: int = 0
     by_category: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
 
     def record(self, category: str, nbytes: int) -> None:
@@ -65,14 +103,18 @@ class NetworkStats:
         cell[1] += nbytes
 
     def snapshot(self) -> "NetworkStats":
-        snap = NetworkStats(self.messages, self.bytes)
+        snap = NetworkStats(self.messages, self.bytes, self.retransmissions,
+                            self.acks, self.dup_suppressed)
         snap.by_category = defaultdict(
             lambda: [0, 0], {k: list(v) for k, v in self.by_category.items()})
         return snap
 
     def delta(self, earlier: "NetworkStats") -> "NetworkStats":
         out = NetworkStats(self.messages - earlier.messages,
-                           self.bytes - earlier.bytes)
+                           self.bytes - earlier.bytes,
+                           self.retransmissions - earlier.retransmissions,
+                           self.acks - earlier.acks,
+                           self.dup_suppressed - earlier.dup_suppressed)
         keys = set(self.by_category) | set(earlier.by_category)
         for key in keys:
             a = self.by_category.get(key, [0, 0])
@@ -85,10 +127,31 @@ class NetworkStats:
         return self.bytes / 1024.0
 
 
+class _PairSend:
+    """Sender-side reliability state for one ``(src, dst)`` pair."""
+
+    __slots__ = ("next_seq", "unacked")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.unacked: dict[int, Message] = {}
+
+
+class _PairRecv:
+    """Receiver-side reliability state for one ``(src, dst)`` pair."""
+
+    __slots__ = ("expected", "buffer")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffer: dict[int, Message] = {}
+
+
 class Network:
     """Point-to-point message transport between ``nprocs`` endpoints."""
 
-    def __init__(self, sim: Simulator, nprocs: int, model: MachineModel):
+    def __init__(self, sim: Simulator, nprocs: int, model: MachineModel,
+                 faults: Optional[FaultPlan] = None):
         self.sim = sim
         self.nprocs = nprocs
         self.model = model
@@ -108,8 +171,41 @@ class Network:
         # transpose or a broadcast-everything epilogue pay for its volume.
         self._src_free = [0.0] * nprocs
         self._dst_free = [0.0] * nprocs
+        # fault injection + reliable delivery (both off on a perfect wire)
+        self.plan = faults
+        self._injector = (FaultInjector(faults, nprocs)
+                          if faults is not None else None)
+        self._pair_send: dict[tuple[int, int], _PairSend] = \
+            defaultdict(_PairSend)
+        self._pair_recv: dict[tuple[int, int], _PairRecv] = \
+            defaultdict(_PairRecv)
+        if faults is not None:
+            self._rto_slack = (faults.rto if faults.rto is not None
+                               else 4.0 * model.latency)
+        sim.diagnostics.append(self._deadlock_report)
+
+    @property
+    def fault_stats(self) -> Optional[FaultStats]:
+        """What the injector did to this run (``None`` on a perfect wire)."""
+        return self._injector.stats if self._injector is not None else None
+
+    def in_flight(self) -> int:
+        """Unacked reliable messages currently awaiting delivery."""
+        return sum(len(ps.unacked) for ps in self._pair_send.values())
 
     # ------------------------------------------------------------------ #
+
+    def _reserve(self, src: int, dst: int, nbytes: int) -> float:
+        """Claim link occupancy for one transfer; returns the arrival time."""
+        transfer = (nbytes + self.model.message_header_bytes) \
+            * self.model.byte_time
+        latency = self.model.latency
+        now = self.sim.now
+        start = max(now, self._src_free[src], self._dst_free[dst] - latency)
+        self._src_free[src] = start + transfer
+        arrival = start + latency + transfer
+        self._dst_free[dst] = arrival
+        return arrival
 
     def send(self, proc: Process, src: int, dst: int, payload: Any, *,
              tag: int = 0, nbytes: int, category: str = "data",
@@ -130,15 +226,91 @@ class Network:
         msg = Message(src=src, dst=dst, tag=tag, payload=payload,
                       nbytes=nbytes, category=category, sent_at=self.sim.now)
         self.stats.record(category, nbytes)
-        transfer = (nbytes + self.model.message_header_bytes) \
-            * self.model.byte_time
-        latency = self.model.latency
         now = self.sim.now
-        start = max(now, self._src_free[src], self._dst_free[dst] - latency)
-        self._src_free[src] = start + transfer
-        arrival = start + latency + transfer
-        self._dst_free[dst] = arrival
-        self.sim.schedule_call(arrival - now, lambda: self._deliver(msg))
+        arrival = self._reserve(src, dst, nbytes)
+        if self._injector is None:
+            self.sim.schedule_call(arrival - now, lambda: self._deliver(msg))
+            return
+        if self.plan.reliable:
+            ps = self._pair_send[(src, dst)]
+            msg.seq = ps.next_seq
+            ps.next_seq += 1
+            ps.unacked[msg.seq] = msg
+        self._transmit(msg, arrival, attempt=1)
+
+    # ------------------------------------------------------------------ #
+    # faulty wire + recovery sublayer (active only with a FaultPlan)
+
+    def _transmit(self, msg: Message, arrival: float, attempt: int) -> None:
+        """Put one copy of ``msg`` on the faulty wire."""
+        inj = self._injector
+        verdict = inj.draw(msg.category)
+        now = self.sim.now
+        # the copy's expected arrival after injected delay and the fault
+        # schedule; used for the retransmit timer even when the copy drops
+        expected = inj.defer(msg.src, msg.dst, arrival + verdict.delay)
+        if not verdict.drop:
+            self.sim.schedule_call(expected - now, lambda: self._arrive(msg))
+        if verdict.dup:
+            dup_at = inj.defer(msg.src, msg.dst, expected + inj.dup_lag())
+            self.sim.schedule_call(dup_at - now, lambda: self._arrive(msg))
+        if self.plan.reliable:
+            slack = self._rto_slack * (2.0 ** (attempt - 1))
+            self.sim.schedule_call(
+                (expected - now) + slack,
+                lambda: self._check_ack(msg, attempt))
+
+    def _arrive(self, msg: Message) -> None:
+        """One copy reached ``msg.dst``'s interface."""
+        if not self.plan.reliable:
+            self._deliver(msg)
+            return
+        pair = (msg.src, msg.dst)
+        pr = self._pair_recv[pair]
+        if msg.seq < pr.expected or msg.seq in pr.buffer:
+            # retransmission or injected duplicate of something already
+            # seen; re-ack so the sender learns even if the first ack died
+            self.stats.dup_suppressed += 1
+        else:
+            pr.buffer[msg.seq] = msg
+            # release to the mailbox strictly in send order
+            while pr.expected in pr.buffer:
+                self._deliver(pr.buffer.pop(pr.expected))
+                pr.expected += 1
+        self._send_ack(pair, pr.expected)
+
+    def _send_ack(self, pair: tuple[int, int], ackno: int) -> None:
+        """Cumulative ack from ``pair[1]`` back to ``pair[0]`` — rides the
+        same faulty wire, but as a control event without link occupancy."""
+        verdict = self._injector.draw_ack()
+        if verdict.drop:
+            return
+        now = self.sim.now
+        at = self._injector.defer(pair[1], pair[0],
+                                  now + self.model.latency + verdict.delay)
+        self.sim.schedule_call(at - now, lambda: self._ack_arrive(pair, ackno))
+
+    def _ack_arrive(self, pair: tuple[int, int], ackno: int) -> None:
+        self.stats.acks += 1
+        ps = self._pair_send[pair]
+        for seq in [s for s in ps.unacked if s < ackno]:
+            del ps.unacked[seq]
+
+    def _check_ack(self, msg: Message, attempt: int) -> None:
+        """Retransmit timer: still unacked when the timeout fires?"""
+        ps = self._pair_send[(msg.src, msg.dst)]
+        if msg.seq not in ps.unacked:
+            return
+        if attempt >= self.plan.max_attempts:
+            raise SimError(
+                f"reliable delivery gave up: {msg.category!r} message "
+                f"{msg.src}->{msg.dst} seq={msg.seq} still unacked after "
+                f"{attempt} transmissions")
+        self.stats.retransmissions += 1
+        arrival = self._reserve(msg.src, msg.dst, msg.nbytes)
+        self._transmit(msg, arrival, attempt + 1)
+
+    # ------------------------------------------------------------------ #
 
     def _deliver(self, msg: Message) -> None:
         msg.delivered_at = self.sim.now
@@ -181,3 +353,32 @@ class Network:
 
     def pending(self, dst: int) -> int:
         return len(self._mailbox[dst])
+
+    # ------------------------------------------------------------------ #
+
+    def _name(self, filt: int) -> str:
+        return "ANY" if filt == -1 else str(filt)
+
+    def _deadlock_report(self) -> str:
+        """What every node's endpoint looks like when nothing can progress:
+        undelivered mailbox contents vs. the ``(src, tag)`` filters blocked
+        receivers are waiting on — usually enough to spot the tag mismatch."""
+        lines = ["network state at deadlock:"]
+        for node in range(self.nprocs):
+            box = self._mailbox[node]
+            waits = self._waiting[node]
+            if not box and not waits:
+                continue
+            held = ", ".join(
+                f"(src={m.src}, tag={m.tag}, category={m.category!r}, "
+                f"nbytes={m.nbytes})" for m in box)
+            lines.append(f"  node {node}: mailbox=[{held}]")
+            for proc, src_f, tag_f in waits:
+                lines.append(f"    {proc.name} waiting on recv(src="
+                             f"{self._name(src_f)}, tag={self._name(tag_f)})")
+        if self._injector is not None:
+            unacked = self.in_flight()
+            if unacked:
+                lines.append(
+                    f"  unacked reliable messages in flight: {unacked}")
+        return "\n".join(lines)

@@ -26,6 +26,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.sim.cluster import Cluster, ProcEnv, RunResult
+from repro.sim.faults import FaultPlan
 from repro.sim.machine import MachineModel
 from repro.tmk.faststate import fastpath_enabled_from_env
 from repro.tmk.pagespace import ArrayHandle, SharedSpace
@@ -117,7 +118,8 @@ def tmk_run(nprocs: int,
             gc_epochs: Optional[int] = 8,
             trace: bool = False,
             schedule_seed: Optional[int] = None,
-            racecheck: bool = False) -> RunResult:
+            racecheck: bool = False,
+            faults: Optional[FaultPlan] = None) -> RunResult:
     """Run ``program(tmk, *args)`` on ``nprocs`` simulated processors.
 
     ``setup(space)`` performs the static shared allocation (every node sees
@@ -131,6 +133,12 @@ def tmk_run(nprocs: int,
     historical order).  ``racecheck=True`` attaches a
     :class:`~repro.tmk.racecheck.RaceMonitor` and stores its verdict as
     ``result.racecheck`` (a :class:`~repro.tmk.racecheck.RaceCheckResult`).
+
+    ``faults`` attaches a seeded :class:`~repro.sim.faults.FaultPlan` to
+    the interconnect (drop/dup/reorder/delay plus node stalls) with the
+    reliable-delivery sublayer recovering transparently; retransmission
+    counts surface as ``result.dsm_stats.retransmissions`` and the
+    injector's tally as ``result.fault_stats``.
     """
     space = SharedSpace()
     setup(space)
@@ -141,14 +149,17 @@ def tmk_run(nprocs: int,
     if racecheck:
         from repro.tmk.racecheck import attach_race_monitor
         attach_race_monitor(world)
-    cluster = Cluster(nprocs=nprocs, model=model, schedule_seed=schedule_seed)
+    cluster = Cluster(nprocs=nprocs, model=model, schedule_seed=schedule_seed,
+                      faults=faults)
 
     def wrapper(env: ProcEnv, *rest):
         tmk = Tmk(env, world)
         return program(tmk, *rest)
 
     result = cluster.run(wrapper, args=args)
+    world.dsm_stats.retransmissions = cluster.net.stats.retransmissions
     result.dsm_stats = world.dsm_stats.snapshot()
+    result.fault_stats = cluster.net.fault_stats
     if trace:
         result.trace = world.trace
     if racecheck:

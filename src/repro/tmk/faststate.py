@@ -51,9 +51,9 @@ memory images.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
+
+from repro.envflags import env_flag
 
 __all__ = ["FastState", "fastpath_enabled_from_env"]
 
@@ -61,8 +61,12 @@ _REGION_VERDICT_LIMIT = 4096   # per-node cap on remembered footprints
 
 
 def fastpath_enabled_from_env() -> bool:
-    """The ``TMK_FASTPATH`` escape hatch (default: enabled)."""
-    return os.environ.get("TMK_FASTPATH", "1") != "0"
+    """The ``TMK_FASTPATH`` escape hatch (default: enabled).
+
+    ``0 / false / off / no`` (case-insensitive) disable; ``1 / true / on /
+    yes`` enable; anything else raises — see :func:`repro.envflags.env_flag`.
+    """
+    return env_flag("TMK_FASTPATH", default=True)
 
 
 class FastState:

@@ -53,6 +53,12 @@ __all__ = ["TmkNode", "PageMeta", "DiffRequest", "DiffReply",
 
 # ---------------------------------------------------------------------- #
 # tag space (application programs use tags < 1_000_000)
+#
+# Every tag below names a request/reply channel that assumes exactly-once,
+# per-pair-FIFO delivery (a duplicated DiffReply would patch a page twice;
+# a reordered grant would break lock tenure).  The network provides both —
+# natively on the perfect wire, via its reliable-delivery sublayer under
+# an attached FaultPlan — so the protocol carries no sequence numbers.
 
 TAG_TMK_REQ = 1_000_000      # all requests bound for a node's server
 TAG_FETCH_REP = 1_000_001    # diff / page replies back to a faulting main

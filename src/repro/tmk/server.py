@@ -7,6 +7,15 @@ every ``TAG_TMK_REQ`` message addressed to the node and dispatches it to the
 protocol/sync handlers.  The server has its own virtual-time context (the
 handler's CPU cost is charged there), while the node's main program keeps
 computing — the same overlap an interrupt handler provides.
+
+Delivery assumptions: the dispatch loop requires per-(src, dst) FIFO,
+exactly-once delivery — a duplicated ``DiffRequest`` would double-charge a
+serve, a reordered lock forward would break tenure order.  On the perfect
+wire these hold by construction; under an attached
+:class:`~repro.sim.faults.FaultPlan` the network's reliable-delivery
+sublayer (sequence numbers, cumulative acks, retransmission, duplicate
+suppression) restores them below this layer, so the server needs no
+request ids or idempotence logic of its own.
 """
 
 from __future__ import annotations

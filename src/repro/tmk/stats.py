@@ -34,6 +34,7 @@ class DsmStats:
     pushes: int = 0                # enhanced-interface data pushes
     aggregated_validates: int = 0  # enhanced-interface bulk fetches
     tree_reductions: int = 0       # §8 extension: tree reduction operations
+    retransmissions: int = 0       # reliable-delivery re-sends (fault runs)
     # fast-path observability (wall-clock only; no virtual-time effect)
     fastpath_hits: int = 0         # ensure_* calls satisfied by mask/verdict
     fastpath_misses: int = 0       # ensure_* calls that walked the slow path

@@ -14,6 +14,14 @@ forwarded to the processor that last requested the lock.  A lock release
 does not cause any communication."  The grant message carries the interval
 records the acquirer has not seen (the happens-before closure known to the
 releaser), per lazy release consistency.
+
+Both protocols assume the interconnect delivers exactly once and in
+per-pair send order: a duplicated barrier arrival would advance the
+manager's count twice, and a lock grant overtaking an earlier forward
+would violate tenure order.  The network guarantees both — natively on
+the perfect wire, via its reliable-delivery sublayer when a
+:class:`~repro.sim.faults.FaultPlan` is attached — so no sequence
+numbers appear at this layer.
 """
 
 from __future__ import annotations
