@@ -14,7 +14,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.compiler.ir import (Access, Full, Mark, ParallelLoop, Program,
+from repro.compiler.ir import (Access, Full, ParallelLoop, Program,
                                Reduction, Span)
 
 __all__ = ["AppSpec", "APP_REGISTRY", "get_app", "register",

@@ -29,7 +29,6 @@ from repro.apps.common import (AppSpec, abs_sum,
 from repro.compiler.ir import (Access, ArrayDecl, Full, Irregular, Mark,
                                ParallelLoop, Program, Reduction, SeqBlock,
                                Span, TimeLoop)
-from repro.compiler.spf import SpfOptions
 
 __all__ = ["SPEC", "build_program", "hand_tmk", "hand_pvme"]
 

@@ -158,6 +158,38 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint(args) -> int:
+    import json
+    import os
+
+    from repro.eval.lintreport import lint_registry
+
+    for app in args.apps:
+        if app not in APPS:
+            print(f"unknown application {app!r} (choose from "
+                  f"{', '.join(APPS)})", file=sys.stderr)
+            return 2
+    summary = lint_registry(apps=args.apps or None, nprocs=args.nprocs,
+                            preset=args.preset,
+                            backends=tuple(args.backends),
+                            shadow=not args.no_shadow,
+                            traffic=not args.no_traffic,
+                            suppress=tuple(args.suppress),
+                            progress=(None if args.quiet else
+                                      lambda m: print(m, file=sys.stderr)))
+    print(summary.format(verbose=args.verbose or not summary.ok))
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(summary.as_doc(), fh, indent=2, sort_keys=True)
+        print(f"results -> {args.out}")
+    if not summary.ok:
+        return 1
+    if args.strict and any(a.report.warnings for a in summary.apps):
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.eval.report import assemble_report
     print(assemble_report(args.results_dir))
@@ -299,6 +331,39 @@ def main(argv=None) -> int:
                    help="write results without checking the baseline")
     p.add_argument("-n", "--nprocs", type=int, default=8)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically verify IR programs (footprints, barriers, "
+             "false sharing, traffic)")
+    p.add_argument("apps", nargs="*", metavar="APP",
+                   help=f"applications to lint (default: all of "
+                        f"{', '.join(APPS)})")
+    p.add_argument("--backends", nargs="*", default=["spf", "xhpf"],
+                   choices=["spf", "xhpf"],
+                   help="backend-specific rule sets to apply")
+    p.add_argument("--no-shadow", action="store_true",
+                   help="skip the shadow-execution footprint sanitizer")
+    p.add_argument("--no-traffic", action="store_true",
+                   help="skip the static DSM traffic estimate")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings, not just errors")
+    p.add_argument("--suppress", nargs="*", default=[],
+                   help="suppress findings matching 'rule' or "
+                        "'rule:stmt' globs (see docs/LINT.md)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every finding, not just the badge table")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-app progress on stderr")
+    p.add_argument("--out", default=None,
+                   help="write the lint report as JSON to this path")
+    p.add_argument("-n", "--nprocs", type=int, default=8)
+    p.add_argument("--preset", default="test",
+                   choices=["paper", "bench", "test"],
+                   help="problem size preset (default test; the rules "
+                        "are size-independent, only the false-sharing "
+                        "geometry changes)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("list", help="list applications and variants")
     p.set_defaults(fn=cmd_list)

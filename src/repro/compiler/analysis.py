@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.compiler.ir import (Access, ArrayDecl, Full, ParallelLoop, Point,
-                               Program, SeqBlock, Span)
-from repro.compiler.partition import block_range
+from repro.compiler.ir import (Access, ParallelLoop, Program, SeqBlock,
+                               Span)
+from repro.compiler.partition import block_range, cyclic_indices
 
-__all__ = ["access_rect", "rects_overlap", "chunk_rects",
+__all__ = ["access_rect", "rects_overlap", "chunk_rects", "loop_chunk",
            "loop_is_irregular", "loops_fusable", "stmt_footprints"]
 
 Rect = tuple  # tuple of (lo, hi) per dimension
@@ -59,30 +59,37 @@ def rects_overlap(a: Rect, b: Rect) -> bool:
     return True
 
 
+def loop_chunk(loop: ParallelLoop, pid: int, nprocs: int):
+    """Processor ``pid``'s chunk of ``loop``'s iteration space.
+
+    Returns block bounds ``(lo, hi)`` (possibly empty, ``hi <= lo``) or an
+    int64 index array for cyclic schedules (possibly zero-length).  Every
+    consumer of the iteration partition — backends, dependence tests, the
+    lint pass — goes through this one helper so they cannot disagree.
+    """
+    if loop.schedule == "cyclic":
+        return cyclic_indices(loop.extent, nprocs, pid, loop.start)
+    lo, hi = block_range(loop.extent - loop.start, nprocs, pid)
+    return lo + loop.start, hi + loop.start
+
+
 def chunk_rects(loop: ParallelLoop, which: str, pid: int, nprocs: int,
                 program: Program) -> Optional[dict]:
     """``{array: [rects]}`` touched by processor ``pid``'s chunk.
 
     ``which`` is "reads" or "writes".  Returns ``None`` if any access is
     irregular.  Cyclic chunks use the bounding interval of the owned
-    indices.
+    indices (a conservative over-approximation).
     """
     accesses = getattr(loop, which)
     out: dict = {}
+    chunk = loop_chunk(loop, pid, nprocs)
     if loop.schedule == "cyclic":
-        span = loop.extent - loop.start
-        if span <= 0:
+        if chunk.size == 0:
             return out
-        # bounding interval of indices {start+pid, start+pid+n, ...}
-        first = loop.start + ((pid - loop.start) % nprocs)
-        if first >= loop.extent:
-            return out
-        last = loop.extent - 1 - ((loop.extent - 1 - first) % nprocs)
-        lo, hi = first, last + 1
+        lo, hi = int(chunk[0]), int(chunk[-1]) + 1
     else:
-        lo, hi = block_range(loop.extent - loop.start, nprocs, pid)
-        lo += loop.start
-        hi += loop.start
+        lo, hi = chunk
         if hi <= lo:
             return out
     for acc in accesses:

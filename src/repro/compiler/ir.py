@@ -31,13 +31,43 @@ bounds ``(lo, hi)``::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 __all__ = ["Dim", "Span", "Full", "Point", "Irregular", "Access",
            "ArrayDecl", "Reduction", "SeqBlock", "ParallelLoop", "TimeLoop",
-           "Program", "Stmt"]
+           "Program", "Stmt", "FootprintError"]
+
+
+class FootprintError(ValueError):
+    """A region expression that cannot be resolved against its array.
+
+    Subclasses :class:`ValueError` for backward compatibility, but carries
+    the facts of the failure as attributes so a static checker can report
+    the defect with source attribution instead of parsing a message:
+
+    ``array``        the array name,
+    ``kind``         "rank" (region rank exceeds array rank) or "bounds"
+                     (a ``Point`` index outside ``[0, extent)``),
+    ``region_rank``/``array_rank``   set for "rank" failures,
+    ``dim``/``index``/``extent``     set for "bounds" failures.
+    """
+
+    def __init__(self, array: str, kind: str, message: str, *,
+                 region_rank: Optional[int] = None,
+                 array_rank: Optional[int] = None,
+                 dim: Optional[int] = None,
+                 index: Optional[int] = None,
+                 extent: Optional[int] = None):
+        super().__init__(f"{array}: {message}")
+        self.array = array
+        self.kind = kind
+        self.region_rank = region_rank
+        self.array_rank = array_rank
+        self.dim = dim
+        self.index = index
+        self.extent = extent
 
 
 # ---------------------------------------------------------------------- #
@@ -116,10 +146,20 @@ class Access:
             raise TypeError(f"access to {self.array} is irregular")
         dims = self.region
         if len(dims) > len(shape):
-            raise ValueError(f"access rank exceeds array rank for {self.array}")
+            raise FootprintError(
+                self.array, "rank",
+                f"region rank {len(dims)} exceeds array rank {len(shape)}",
+                region_rank=len(dims), array_rank=len(shape))
         out = []
         for d, dim_expr in enumerate(dims):
-            out.append(dim_expr.resolve(lo, hi, shape[d]))
+            comp = dim_expr.resolve(lo, hi, shape[d])
+            if isinstance(comp, int) and not 0 <= comp < shape[d]:
+                raise FootprintError(
+                    self.array, "bounds",
+                    f"Point index {comp} outside [0, {shape[d]}) "
+                    f"in dimension {d}",
+                    dim=d, index=comp, extent=shape[d])
+            out.append(comp)
         for d in range(len(dims), len(shape)):
             out.append(slice(0, shape[d]))
         return tuple(out)
@@ -293,6 +333,20 @@ class Program:
                 else:
                     yield s
         yield from walk(self.body)
+
+    def flat_statements_with_window(self):
+        """Like :meth:`flat_statements` but pairs each statement with the
+        measurement window it falls in — "setup" before ``Mark("start")``,
+        "measured" between the marks, "epilogue" after ``Mark("stop")``.
+        Mark statements themselves are yielded with the window they open."""
+        window = "setup"
+        for s in self.flat_statements():
+            if isinstance(s, Mark):
+                if s.label == "start":
+                    window = "measured"
+                elif s.label == "stop":
+                    window = "epilogue"
+            yield s, window
 
     def parallel_loops(self):
         for s in self.flat_statements():

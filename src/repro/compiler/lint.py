@@ -1,0 +1,1061 @@
+"""Static IR verifier: ``python -m repro lint``.
+
+The dynamic race detector (PR 1) needs a full simulated run to fire; this
+module finds the same families of defects *statically*, before any
+simulation, by analyzing the :class:`~repro.compiler.ir.Program` the way
+the paper's compilers do.  Five rule families:
+
+* **well-formedness** (``wf-*``) — undeclared arrays, region rank
+  mismatches, out-of-bounds ``Point`` indices, empty iteration spaces,
+  ``Span`` halos on cyclic schedules, reductions a kernel never produces,
+  plus the XHPF backend's hard distribution constraints (``xhpf-*``);
+* **footprint soundness** (``footprint``) — a shadow-execution sanitizer:
+  each kernel runs once, single-process, chunk by chunk on recording array
+  wrappers, and every element touched outside the declared read/write
+  regions is reported with source attribution.  Today a footprint lie only
+  surfaces as a numeric mismatch against the sequential oracle at some
+  processor count;
+* **redundant synchronization** (``redundant-barrier``) — adjacent
+  parallel loops that pass :func:`analysis.loops_fusable` but are compiled
+  unfused: an eliminable barrier pair (Tseng [17], Section 5 of the
+  paper);
+* **false sharing** (``false-sharing``) — from dtype, shape, page size and
+  the block/cyclic partition, the chunk boundaries that straddle pages,
+  predicting write-write false sharing and the diff traffic it causes
+  (the paper's Jacobi loses 2% exactly here);
+* **traffic prediction** (:func:`estimate_spf_traffic`) — a static
+  page-level LRC model over the SPF dispatch schedule predicting
+  ``DsmStats`` counters (faults, fetches, twins/diffs, lock traffic) and a
+  diff-byte upper bound.  Irregular programs report "unanalyzable" exactly
+  where the paper's compilers give up.
+
+Suppression: patterns of the form ``rule`` or ``rule:stmt`` (fnmatch
+globs, matched against the statement family — ``orthogonalize[5]``
+matches ``orthogonalize``).  See docs/LINT.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from fnmatch import fnmatch
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler import analysis
+from repro.compiler.ir import (Access, FootprintError, Irregular, Mark,
+                               ParallelLoop, Program, SeqBlock, Span)
+from repro.sim.machine import PAGE_SIZE
+from repro.tmk.pagespace import SharedSpace
+
+__all__ = ["Finding", "LintReport", "TrafficEstimate", "ShadowArray",
+           "lint_program", "estimate_spf_traffic", "compare_traffic",
+           "TRAFFIC_TOLERANCES"]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+def _family(stmt_name: str) -> str:
+    """Statement family: ``orthogonalize[5]`` -> ``orthogonalize``.
+
+    TimeLoop factories stamp the outer index into statement names; rules
+    dedupe (and suppressions match) per family, not per instance.
+    """
+    return stmt_name.split("[")[0]
+
+
+# ---------------------------------------------------------------------- #
+# findings
+
+@dataclass
+class Finding:
+    """One lint diagnostic with source attribution."""
+
+    rule: str
+    severity: str
+    program: str
+    stmt: str                       # statement name ("" for program-level)
+    message: str
+    array: Optional[str] = None
+    window: str = "setup"           # setup | measured | epilogue
+    hint: str = ""
+    details: dict = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        return (self.rule, _family(self.stmt), self.array)
+
+    def where(self) -> str:
+        loc = self.program
+        if self.stmt:
+            loc += f"/{self.stmt}"
+        loc += f" [{self.window}]"
+        if self.array:
+            loc += f" array {self.array!r}"
+        return loc
+
+    def format(self) -> str:
+        lines = [f"{self.severity:7s} {self.rule:18s} {self.where()}: "
+                 f"{self.message}"]
+        if self.hint:
+            lines.append(f"{'':26s} hint: {self.hint}")
+        return "\n".join(lines)
+
+    def as_doc(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class TrafficEstimate:
+    """Static prediction of the SPF variant's whole-run DSM counters."""
+
+    analyzable: bool
+    reason: str = ""                # why not, when analyzable is False
+    nprocs: int = 0
+    loop_units: int = 0             # fork-join dispatches
+    seq_units: int = 0
+    red_instances: int = 0          # reduction-loop instances
+    read_faults: int = 0
+    write_faults: int = 0
+    fetches: int = 0
+    fetch_requests: int = 0         # (fetch, missing-writer) pairs
+    diffs_applied: int = 0
+    twins_created: int = 0
+    diffs_created: int = 0          # == twins (every twin yields one diff)
+    lock_acquires: int = 0
+    lock_remote: int = 0
+    est_messages: int = 0
+    est_diff_kb: float = 0.0        # approx. payload bound (run headers
+                                    # and word-level contents not modeled)
+    shared_write_pages: int = 0     # (epoch, page) pairs with >= 2 writers
+
+    def format(self) -> str:
+        if not self.analyzable:
+            return f"traffic: unanalyzable ({self.reason})"
+        return (f"traffic (spf, n={self.nprocs}): "
+                f"~{self.fetches} fetches, ~{self.twins_created} twins/"
+                f"diffs, {self.lock_acquires} lock acquires, "
+                f"~{self.est_messages} messages, "
+                f"~{self.est_diff_kb:.0f} KB diff data")
+
+    def as_doc(self) -> dict:
+        return asdict(self)
+
+
+# Declared cross-check tolerances (relative error vs. simulated DsmStats)
+# for regular applications; the estimator is a page-granularity epoch model
+# (it cannot see word-level diff contents), so the byte count approximates
+# the payload from above — encoded diffs add small run headers, so it is
+# not a strict bound.  tests/test_lint_traffic.py asserts these against
+# the simulator.
+TRAFFIC_TOLERANCES = {
+    "read_faults": 0.20,
+    "write_faults": 0.15,
+    "fetches": 0.20,
+    "twins_created": 0.15,
+    "diffs_created": 0.15,
+    "lock_acquires": 0.0,           # exact: nprocs per reduction instance
+    "est_messages": 0.25,
+}
+
+
+def compare_traffic(est: "TrafficEstimate", dsm, messages: int) -> list:
+    """``[(metric, predicted, actual, tolerance, ok)]`` per cross-checked
+    counter.  ``messages`` is the whole-run network message count."""
+    rows = []
+    for metric, tol in TRAFFIC_TOLERANCES.items():
+        predicted = getattr(est, metric)
+        actual = messages if metric == "est_messages" \
+            else getattr(dsm, metric)
+        if tol == 0.0:
+            ok = predicted == actual
+        else:
+            ok = abs(predicted - actual) <= tol * max(actual, 1)
+        rows.append((metric, predicted, actual, tol, ok))
+    return rows
+
+
+@dataclass
+class LintReport:
+    """All findings for one program, plus the optional traffic estimate."""
+
+    program: str
+    nprocs: int
+    findings: list = field(default_factory=list)
+    traffic: Optional[TrafficEstimate] = None
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def counts(self) -> tuple:
+        sev = [f.severity for f in self.findings]
+        return (sev.count("error"), sev.count("warning"), sev.count("info"))
+
+    def format(self) -> str:
+        e, w, i = self.counts()
+        head = (f"lint {self.program} (n={self.nprocs}): "
+                f"{e} error(s), {w} warning(s), {i} info")
+        if self.suppressed:
+            head += f", {self.suppressed} suppressed"
+        lines = [head]
+        order = {"error": 0, "warning": 1, "info": 2}
+        for f in sorted(self.findings, key=lambda f: (order[f.severity],
+                                                      f.rule, f.stmt)):
+            lines.append("  " + f.format().replace("\n", "\n  "))
+        if self.traffic is not None:
+            lines.append("  " + self.traffic.format())
+        lines.append(f"  {'CLEAN' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+    def as_doc(self) -> dict:
+        e, w, i = self.counts()
+        return {"program": self.program, "nprocs": self.nprocs,
+                "errors": e, "warnings": w, "infos": i, "ok": self.ok,
+                "suppressed": self.suppressed,
+                "findings": [f.as_doc() for f in self.findings],
+                "traffic": (self.traffic.as_doc()
+                            if self.traffic is not None else None)}
+
+
+# ---------------------------------------------------------------------- #
+# rule 1: well-formedness
+
+def _stmt_chunks(stmt, nprocs: int) -> list:
+    """Representative (lo, hi) bounds to resolve a statement's regions at."""
+    if isinstance(stmt, SeqBlock):
+        return [(0, 0)]
+    chunks = []
+    for pid in range(nprocs):
+        chunk = analysis.loop_chunk(stmt, pid, nprocs)
+        if isinstance(chunk, np.ndarray):
+            if chunk.size:
+                chunks.append((int(chunk[0]), int(chunk[-1]) + 1))
+        elif chunk[1] > chunk[0]:
+            chunks.append(chunk)
+    return chunks
+
+
+def _check_wellformed(program: Program, nprocs: int,
+                      backends: tuple) -> list:
+    findings = []
+    names = {a.name for a in program.arrays}
+    seen = set()
+
+    def emit(rule, severity, stmt, window, message, array=None, hint="",
+             **details):
+        f = Finding(rule=rule, severity=severity, program=program.name,
+                    stmt=stmt, message=message, array=array, window=window,
+                    hint=hint, details=details)
+        if f.key() not in seen:
+            seen.add(f.key())
+            findings.append(f)
+
+    families = set()
+    for stmt, window in program.flat_statements_with_window():
+        if isinstance(stmt, Mark):
+            continue
+        fam = _family(stmt.name)
+        if fam in families:
+            continue
+        families.add(fam)
+        if isinstance(stmt, ParallelLoop):
+            if stmt.extent <= 0:
+                emit("wf-extent", "error", stmt.name, window,
+                     f"bad loop extent {stmt.extent}",
+                     hint="extent must be positive")
+                continue
+            if stmt.extent - stmt.start <= 0:
+                emit("wf-empty", "warning", stmt.name, window,
+                     f"empty iteration space [{stmt.start}, {stmt.extent})",
+                     hint="drop the loop or fix start/extent")
+            for name in stmt.accumulate:
+                if name not in names:
+                    emit("wf-undeclared", "error", stmt.name, window,
+                         f"accumulate of undeclared array {name!r}",
+                         array=name)
+            if stmt.align is not None and stmt.align[0] not in names:
+                emit("wf-undeclared", "error", stmt.name, window,
+                     f"align references undeclared array "
+                     f"{stmt.align[0]!r}", array=stmt.align[0])
+        for which in ("reads", "writes"):
+            for acc in getattr(stmt, which):
+                if acc.array not in names:
+                    emit("wf-undeclared", "error", stmt.name, window,
+                         f"{which[:-1]} of undeclared array {acc.array!r}",
+                         array=acc.array)
+                    continue
+                if acc.irregular:
+                    continue
+                shape = program.decl(acc.array).shape
+                for lo, hi in _stmt_chunks(stmt, nprocs):
+                    try:
+                        acc.resolve(lo, hi, shape)
+                    except FootprintError as err:
+                        rule = "wf-rank" if err.kind == "rank" \
+                            else "wf-bounds"
+                        emit(rule, "error", stmt.name, window,
+                             f"{which[:-1]} region: {err.args[0]}",
+                             array=acc.array,
+                             hint=("match the region's rank to the "
+                                   "array declaration"
+                                   if err.kind == "rank" else
+                                   "keep Point indices inside the array"),
+                             kind=err.kind, region_rank=err.region_rank,
+                             array_rank=err.array_rank, dim=err.dim,
+                             index=err.index, extent=err.extent)
+                        break
+                if (isinstance(stmt, ParallelLoop)
+                        and stmt.schedule == "cyclic" and acc.region):
+                    lead = acc.region[0]
+                    if isinstance(lead, Span) and (lead.lo_off < 0
+                                                   or lead.hi_off > 0):
+                        emit("wf-halo-cyclic", "warning", stmt.name,
+                             window,
+                             f"Span halo ({lead.lo_off:+d}, "
+                             f"{lead.hi_off:+d}) on a cyclic schedule: "
+                             f"the bounding-interval footprint covers "
+                             f"nearly the whole array",
+                             array=acc.array,
+                             hint="use a block schedule for halo "
+                                  "exchanges, or declare Full()")
+
+    if "xhpf" in backends:
+        for decl in program.arrays:
+            if decl.distribute is not None and decl.distribute != 0:
+                emit("xhpf-dist-dim", "error", "", "setup",
+                     f"distribute={decl.distribute}: the XHPF backend "
+                     f"implements only dim-0 distribution",
+                     array=decl.name,
+                     hint="distribute dimension 0 or replicate")
+        for stmt, window in program.flat_statements_with_window():
+            if not isinstance(stmt, SeqBlock) \
+                    or _family(stmt.name) + ":xhpf" in families:
+                continue
+            families.add(_family(stmt.name) + ":xhpf")
+            for acc in stmt.reads:
+                if acc.irregular or acc.array not in names:
+                    continue
+                decl = program.decl(acc.array)
+                if decl.distribute is None or decl.dist_kind != "cyclic":
+                    continue
+                region = acc.resolve(0, 0, decl.shape)
+                rows = region[0]
+                row_lo, row_hi = (rows, rows + 1) if isinstance(rows, int) \
+                    else (rows.start, rows.stop)
+                if row_hi - row_lo > 1:
+                    emit("xhpf-cyclic-seq", "error", stmt.name, window,
+                         f"sequential read of {row_hi - row_lo} rows of a "
+                         f"CYCLIC-distributed array (the backend "
+                         f"broadcasts single rows only)",
+                         array=acc.array,
+                         hint="read one row at a time, or distribute "
+                              "BLOCK-wise")
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# rule 2: footprint soundness (shadow execution)
+
+class ShadowArray:
+    """A recording array wrapper: reads and writes mark element masks.
+
+    Not an ndarray subclass — every access funnels through ``__getitem__``
+    / ``__setitem__`` (or ``__array__`` for whole-array conversions), so a
+    kernel cannot touch an element without the sanitizer seeing it.
+    ``reshape`` returns a wrapper over reshaped *views* of the same data
+    and masks (FFT's flat checksum indexing stays exact).
+    """
+
+    __slots__ = ("data", "read_mask", "write_mask")
+
+    def __init__(self, data: np.ndarray,
+                 read_mask: Optional[np.ndarray] = None,
+                 write_mask: Optional[np.ndarray] = None):
+        self.data = data
+        self.read_mask = (np.zeros(data.shape, bool)
+                          if read_mask is None else read_mask)
+        self.write_mask = (np.zeros(data.shape, bool)
+                           if write_mask is None else write_mask)
+
+    # ---- shape protocol -------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def __len__(self):
+        return len(self.data)
+
+    # ---- recorded accesses ---------------------------------------------
+    def __getitem__(self, idx):
+        self.read_mask[idx] = True
+        return np.array(self.data[idx], copy=True)
+
+    def __setitem__(self, idx, value):
+        if isinstance(value, ShadowArray):
+            value.read_mask[...] = True
+            value = value.data
+        self.write_mask[idx] = True
+        self.data[idx] = value
+
+    def __array__(self, dtype=None, copy=None):
+        self.read_mask[...] = True
+        data = self.data
+        return data.astype(dtype) if dtype is not None else np.array(data)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ShadowArray(self.data.reshape(shape),
+                           self.read_mask.reshape(shape),
+                           self.write_mask.reshape(shape))
+
+    def astype(self, dtype):
+        self.read_mask[...] = True
+        return self.data.astype(dtype)
+
+    def copy(self):
+        self.read_mask[...] = True
+        return self.data.copy()
+
+    # arithmetic on the whole wrapper counts as a full read
+    def _full(self):
+        self.read_mask[...] = True
+        return self.data
+
+    def __add__(self, other):
+        return self._full() + other
+
+    def __radd__(self, other):
+        return other + self._full()
+
+    def __sub__(self, other):
+        return self._full() - other
+
+    def __rsub__(self, other):
+        return other - self._full()
+
+    def __mul__(self, other):
+        return self._full() * other
+
+    def __rmul__(self, other):
+        return other * self._full()
+
+    def __truediv__(self, other):
+        return self._full() / other
+
+    def __rtruediv__(self, other):
+        return other / self._full()
+
+    def __matmul__(self, other):
+        return self._full() @ other
+
+    def __neg__(self):
+        return -self._full()
+
+
+def _declared_masks(stmt, chunk, raw: dict, program: Program) -> tuple:
+    """(read_masks, write_masks) granted to this chunk by the declarations,
+    mirroring exactly what the SPF backend would make coherent."""
+    reads = {name: np.zeros(arr.shape, bool) for name, arr in raw.items()}
+    writes = {name: np.zeros(arr.shape, bool) for name, arr in raw.items()}
+    for which, masks in (("reads", reads), ("writes", writes)):
+        for acc in getattr(stmt, which):
+            arr = raw[acc.array]
+            if acc.irregular:
+                if isinstance(chunk, np.ndarray):
+                    idx = acc.region.footprint(raw, chunk, None)
+                else:
+                    idx = acc.region.footprint(raw, chunk[0], chunk[1])
+                masks[acc.array].reshape(-1)[
+                    np.asarray(idx, dtype=np.int64)] = True
+            elif isinstance(chunk, np.ndarray):
+                lead = acc.region[0] if acc.region else None
+                if isinstance(lead, Span) and lead.lo_off == 0 \
+                        and lead.hi_off == 0:
+                    # the backend ensures exactly the owned rows
+                    masks[acc.array][chunk] = True
+                else:
+                    region = acc.resolve(int(chunk[0]),
+                                         int(chunk[-1]) + 1, arr.shape)
+                    masks[acc.array][region] = True
+            else:
+                region = acc.resolve(chunk[0], chunk[1], arr.shape)
+                masks[acc.array][region] = True
+    return reads, writes
+
+
+def _sample_coords(extra: np.ndarray, limit: int = 3) -> str:
+    coords = np.argwhere(extra)[:limit]
+    return ", ".join(str(tuple(int(x) for x in c)) for c in coords)
+
+
+def _check_footprints(program: Program, nprocs: int) -> list:
+    findings = []
+    seen = set()
+    shadow = {d.name: ShadowArray(np.zeros(d.shape, dtype=d.dtype))
+              for d in program.arrays}
+    raw = {name: s.data for name, s in shadow.items()}
+
+    def emit(rule, stmt, window, array, mode, count, sample, hint):
+        key = (rule, _family(stmt.name), array, mode)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding(
+            rule=rule, severity="error", program=program.name,
+            stmt=stmt.name, array=array, window=window,
+            message=f"kernel {mode} {count} element(s) outside the "
+                    f"declared {mode[:-1]} region, e.g. at {sample}",
+            hint=hint, details={"mode": mode, "count": int(count)}))
+
+    def reset_masks():
+        for s in shadow.values():
+            if s.read_mask.any():
+                s.read_mask[...] = False
+            if s.write_mask.any():
+                s.write_mask[...] = False
+
+    for stmt, window in program.flat_statements_with_window():
+        if isinstance(stmt, Mark):
+            continue
+        accumulate = list(getattr(stmt, "accumulate", ()))
+        if isinstance(stmt, SeqBlock):
+            chunks = [(0, 0)]
+        else:
+            chunks = [analysis.loop_chunk(stmt, pid, nprocs)
+                      for pid in range(nprocs)]
+            for name in accumulate:
+                raw[name][...] = 0      # sequential accumulate semantics
+        for chunk in chunks:
+            if isinstance(chunk, np.ndarray):
+                if chunk.size == 0:
+                    continue
+            elif not isinstance(stmt, SeqBlock) and chunk[1] <= chunk[0]:
+                continue
+            reset_masks()
+            decl_r, decl_w = _declared_masks(stmt, chunk, raw, program)
+            views = dict(shadow)
+            buffers = {}
+            for name in accumulate:
+                # the backend redirects accumulation to a private buffer
+                # and merges afterwards; only nonzero contributions are
+                # observable, exactly like _stage_contributions
+                buffers[name] = views[name] = np.zeros(
+                    raw[name].shape, dtype=raw[name].dtype)
+            if isinstance(stmt, SeqBlock):
+                partials = stmt.kernel(views)
+            elif isinstance(chunk, np.ndarray):
+                partials = stmt.kernel(views, chunk)
+            else:
+                partials = stmt.kernel(views, chunk[0], chunk[1])
+            for name, s in shadow.items():
+                extra_w = s.write_mask & ~decl_w[name]
+                if extra_w.any():
+                    emit("footprint", stmt, window, name, "writes",
+                         extra_w.sum(), _sample_coords(extra_w),
+                         "widen the declared write Access or fix the "
+                         "kernel")
+                granted = decl_r[name] | decl_w[name]
+                extra_r = s.read_mask & ~granted
+                if extra_r.any():
+                    emit("footprint", stmt, window, name, "reads",
+                         extra_r.sum(), _sample_coords(extra_r),
+                         "widen the declared read Access or fix the "
+                         "kernel")
+            for name, buf in buffers.items():
+                contrib = buf != 0
+                extra = contrib & ~decl_w[name]
+                if extra.any():
+                    emit("footprint", stmt, window, name, "writes",
+                         extra.sum(), _sample_coords(extra),
+                         "widen the declared accumulate footprint or fix "
+                         "the kernel")
+                raw[name] += buf        # merge, like the synthetic loop
+            if isinstance(stmt, ParallelLoop) and stmt.reductions:
+                for red in stmt.reductions:
+                    if not isinstance(partials, dict) \
+                            or red.name not in partials:
+                        key = ("wf-reduction", _family(stmt.name),
+                               red.name, "red")
+                        if key not in seen:
+                            seen.add(key)
+                            findings.append(Finding(
+                                rule="wf-reduction", severity="error",
+                                program=program.name, stmt=stmt.name,
+                                array=None, window=window,
+                                message=f"reduction {red.name!r} declared "
+                                        f"but the kernel returned no "
+                                        f"partial for it",
+                                hint="return {name: value} from the "
+                                     "kernel or drop the Reduction"))
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# rule 3: redundant synchronization
+
+def _check_redundant_barriers(program: Program, nprocs: int,
+                              options) -> list:
+    if options is not None and getattr(options, "fuse_loops", False):
+        return []                   # the compiler already fuses
+    findings = []
+    seen = set()
+    prev = None
+    for stmt, window in program.flat_statements_with_window():
+        if not isinstance(stmt, ParallelLoop):
+            prev = None             # SeqBlock / Mark breaks the unit chain
+            continue
+        if (prev is not None and not stmt.accumulate
+                and analysis.loops_fusable(prev, stmt, nprocs, program)):
+            key = (_family(prev.name), _family(stmt.name))
+            if key not in seen:
+                seen.add(key)
+                findings.append(Finding(
+                    rule="redundant-barrier", severity="warning",
+                    program=program.name, stmt=stmt.name, window=window,
+                    message=f"the barrier pair between {prev.name!r} and "
+                            f"{stmt.name!r} is eliminable: no "
+                            f"cross-processor dependence at n={nprocs}",
+                    hint="compile with SpfOptions(fuse_loops=True) to "
+                         "fuse the dispatch (Tseng barrier elimination)",
+                    details={"pred": prev.name}))
+        prev = stmt if not stmt.accumulate else None
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# rule 4: false sharing
+
+def _loop_write_pages(exe, loop: ParallelLoop, space: SharedSpace,
+                      pid: int) -> dict:
+    """{array: page ndarray} written by pid's chunk, per the SPF layout."""
+    from repro.compiler.spf import STAGING_PREFIX
+    out = {}
+    chunk = analysis.loop_chunk(loop, pid, exe.nprocs)
+    if isinstance(chunk, np.ndarray):
+        if chunk.size == 0:
+            return out
+    elif chunk[1] <= chunk[0]:
+        return out
+    for acc in loop.writes:
+        if acc.array in loop.accumulate:
+            continue                # redirected to the staging array
+        handle = space[acc.array]
+        if acc.irregular:
+            continue                # data-dependent: not statically known
+        if isinstance(chunk, np.ndarray):
+            lead = acc.region[0] if acc.region else None
+            if isinstance(lead, Span) and lead.lo_off == 0 \
+                    and lead.hi_off == 0:
+                row_elems = (int(np.prod(handle.shape[1:]))
+                             if len(handle.shape) > 1 else 1)
+                pages = handle.element_pages(chunk * row_elems,
+                                             elem_span=row_elems)
+            else:
+                region = acc.resolve(int(chunk[0]), int(chunk[-1]) + 1,
+                                     handle.shape)
+                pages = handle.region_pages(region)
+        else:
+            region = acc.resolve(chunk[0], chunk[1], handle.shape)
+            pages = handle.region_pages(region)
+        out.setdefault(acc.array, []).append(pages)
+    for name in loop.accumulate:
+        # each pid writes its own staging row; rows are not page padded
+        handle = space[STAGING_PREFIX + name]
+        pages = handle.region_pages((slice(pid, pid + 1),))
+        out.setdefault(STAGING_PREFIX + name, []).append(pages)
+    return {name: np.unique(np.concatenate(page_sets))
+            for name, page_sets in out.items()}
+
+
+def _check_false_sharing(program: Program, nprocs: int, options) -> list:
+    from repro.compiler.spf import compile_spf
+    exe = compile_spf(program, nprocs, options)
+    space = SharedSpace()
+    exe.setup_space(space)
+    findings = []
+    seen = set()
+    for stmt, window in program.flat_statements_with_window():
+        if not isinstance(stmt, ParallelLoop):
+            continue
+        fam = _family(stmt.name)
+        if fam in seen:
+            continue
+        seen.add(fam)
+        writers: dict = {}          # (array, page) -> set of pids
+        for pid in range(nprocs):
+            for name, pages in _loop_write_pages(exe, stmt, space,
+                                                 pid).items():
+                for page in pages.tolist():
+                    writers.setdefault((name, page), set()).add(pid)
+        by_array: dict = {}
+        for (name, page), pids in writers.items():
+            if len(pids) >= 2:
+                by_array.setdefault(name, []).append((page, len(pids)))
+        if not by_array:
+            continue
+        total_pages = sum(len(v) for v in by_array.values())
+        extra_diffs = sum(w for v in by_array.values() for _, w in v)
+        arrays = ", ".join(sorted(by_array))
+        findings.append(Finding(
+            rule="false-sharing", severity="warning",
+            program=program.name, stmt=stmt.name, window=window,
+            message=f"chunk boundaries straddle pages: {total_pages} "
+                    f"page(s) of {arrays} written by >= 2 processors "
+                    f"(page size {PAGE_SIZE}); expect ~{extra_diffs} "
+                    f"extra twin/diff pairs per instance",
+            hint="page-align the partition (rows x itemsize a multiple "
+                 "of the page size) or pad rows",
+            details={name: sorted(pages) for name, pages in
+                     by_array.items()}))
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# rule 5: traffic prediction (static LRC epoch model)
+
+class _Record:
+    """One writer interval's write notice for one page."""
+
+    __slots__ = ("writer", "nbytes", "diffed")
+
+    def __init__(self, writer: int, nbytes: int):
+        self.writer = writer
+        self.nbytes = min(int(nbytes), PAGE_SIZE)
+        self.diffed = False
+
+
+class _PageModel:
+    """Page-level lazy-release-consistency bookkeeping.
+
+    Per page a chronological log of write records (writer, byte count);
+    per (pid, page) the index into that log up to which the copy is
+    current.  Pending records from *other* writers mean the copy is
+    invalid: the next access faults, fetches one diff per distinct missing
+    writer, and applies every pending record.
+
+    Twins are lazy, like the protocol's: a write to a page the writer
+    already holds dirty (its previous diff was never requested) extends
+    the open record instead of creating a new twin, and the diff is
+    created — and the twin discarded — when some other processor first
+    requests that record *or* when a write notice from another writer
+    arrives for the dirty page (the protocol must preserve the local
+    modifications before invalidating, ``_apply_notice``), so falsely
+    shared pages re-twin every epoch.  This mirrors repro.tmk.protocol
+    minus the word-level diff contents, so byte counts approximate the
+    payload from above.
+    """
+
+    def __init__(self, nprocs: int, npages: int):
+        self.nprocs = nprocs
+        self.logs = [[] for _ in range(npages)]      # page -> [_Record]
+        self.applied = np.zeros((nprocs, npages), dtype=np.int64)
+        self.open: dict = {}        # (pid, page) -> open (undiffed) _Record
+        self.read_faults = 0
+        self.write_faults = 0
+        self.fetches = 0
+        self.fetch_requests = 0
+        self.diffs_applied = 0
+        self.twins = 0
+        self.diffs_created = 0
+        self.diff_bytes = 0         # upper bound on applied diff payload
+
+    def access(self, pid: int, page: int) -> None:
+        log = self.logs[page]
+        start = int(self.applied[pid, page])
+        missing = [r for r in log[start:] if r.writer != pid]
+        if missing:
+            self.read_faults += 1
+            self.fetches += 1
+            self.fetch_requests += len({r.writer for r in missing})
+            self.diffs_applied += len(missing)
+            for rec in missing:
+                if not rec.diffed:
+                    # first request: the writer diffs against its twin and
+                    # discards it; later requests hit the diff cache
+                    rec.diffed = True
+                    self.diffs_created += 1
+                    if self.open.get((rec.writer, page)) is rec:
+                        del self.open[(rec.writer, page)]
+                self.diff_bytes += rec.nbytes
+        self.applied[pid, page] = len(log)
+
+    def write(self, pid: int, page: int, nbytes: int,
+              pending_records: list) -> None:
+        self.access(pid, page)
+        rec = self.open.get((pid, page))
+        if rec is not None:
+            # still dirty from an earlier interval: no fault, the eventual
+            # diff absorbs this interval's changes too
+            rec.nbytes = min(rec.nbytes + int(nbytes), PAGE_SIZE)
+            return
+        self.write_faults += 1
+        self.twins += 1
+        rec = _Record(pid, nbytes)
+        self.open[(pid, page)] = rec
+        pending_records.append((page, rec))
+
+    def close_epoch(self, pending_records: list) -> None:
+        for page, rec in pending_records:
+            self.logs[page].append(rec)
+        # Write-notice propagation: a notice for a locally dirty page
+        # forces the holder to diff before invalidation, dropping the
+        # twin — the next write re-twins.  Falsely shared pages therefore
+        # pay a twin/diff pair per writer per epoch even when nobody
+        # fetches them.
+        new_writers: dict = {}
+        for page, rec in pending_records:
+            new_writers.setdefault(page, set()).add(rec.writer)
+        for page, writers in new_writers.items():
+            for pid in range(self.nprocs):
+                rec = self.open.get((pid, page))
+                if rec is None or not (writers - {pid}):
+                    continue
+                rec.diffed = True
+                self.diffs_created += 1
+                del self.open[(pid, page)]
+
+
+def _page_bytes(handle, region=None, flat=None, elem_span=1) -> dict:
+    """{page: byte count} a write to the region/elements covers."""
+    if flat is not None:
+        runs = handle.element_byte_runs(flat, elem_span=elem_span)
+    else:
+        runs = handle.region_byte_runs(region)
+    out: dict = {}
+    for start, stop in np.asarray(runs, dtype=np.int64).tolist():
+        page = start // PAGE_SIZE
+        while page * PAGE_SIZE < stop:
+            plo = max(start, page * PAGE_SIZE)
+            phi = min(stop, (page + 1) * PAGE_SIZE)
+            out[page] = out.get(page, 0) + (phi - plo)
+            page += 1
+    return out
+
+
+def _chunk_page_bytes(exe, loop, space, pid: int, which: str) -> dict:
+    """{page: bytes} of pid's chunk for the given access direction."""
+    out: dict = {}
+    chunk = analysis.loop_chunk(loop, pid, exe.nprocs)
+    if isinstance(chunk, np.ndarray):
+        if chunk.size == 0:
+            return out
+    elif chunk[1] <= chunk[0]:
+        return out
+    for acc in getattr(loop, which):
+        handle = space[acc.array]
+        if isinstance(chunk, np.ndarray):
+            lead = acc.region[0] if acc.region else None
+            if isinstance(lead, Span) and lead.lo_off == 0 \
+                    and lead.hi_off == 0:
+                row_elems = (int(np.prod(handle.shape[1:]))
+                             if len(handle.shape) > 1 else 1)
+                pages = _page_bytes(handle, flat=chunk * row_elems,
+                                    elem_span=row_elems)
+            else:
+                region = acc.resolve(int(chunk[0]), int(chunk[-1]) + 1,
+                                     handle.shape)
+                pages = _page_bytes(handle, region=region)
+        else:
+            region = acc.resolve(chunk[0], chunk[1], handle.shape)
+            pages = _page_bytes(handle, region=region)
+        for page, nbytes in pages.items():
+            out[page] = out.get(page, 0) + nbytes
+    return out
+
+
+def _seq_page_bytes(stmt: SeqBlock, space, which: str) -> dict:
+    out: dict = {}
+    for acc in getattr(stmt, which):
+        handle = space[acc.array]
+        region = acc.resolve(0, 0, handle.shape)
+        for page, nbytes in _page_bytes(handle, region=region).items():
+            out[page] = out.get(page, 0) + nbytes
+    return out
+
+
+def estimate_spf_traffic(program: Program, nprocs: int = 8,
+                         options=None) -> TrafficEstimate:
+    """Predict the SPF variant's whole-run DSM counters statically.
+
+    Walks the compiled dispatch schedule with a page-granularity LRC
+    model.  Programs with irregular or accumulate loops are reported
+    unanalyzable — their footprints exist only at run time, which is
+    exactly where the paper's compilers fall back to on-demand fetching
+    (SPF) or broadcast-everything (XHPF).
+    """
+    from repro.compiler.spf import REDUCTION_PREFIX, compile_spf
+    exe = compile_spf(program, nprocs, options)
+    for flag in ("aggregate", "piggyback", "tree_reductions",
+                 "balance_loops", "push_halos"):
+        if options is not None and getattr(options, flag, None):
+            return TrafficEstimate(
+                analyzable=False, nprocs=nprocs,
+                reason=f"hand-optimized code generation ({flag}) is not "
+                       f"modeled")
+    for unit in exe.units:
+        for loop in unit.loops:
+            if loop.irregular:
+                return TrafficEstimate(
+                    analyzable=False, nprocs=nprocs,
+                    reason=f"irregular access in loop {loop.name!r}")
+            if loop.accumulate:
+                return TrafficEstimate(
+                    analyzable=False, nprocs=nprocs,
+                    reason=f"run-time accumulate footprint in loop "
+                           f"{loop.name!r}")
+    space = SharedSpace()
+    exe.setup_space(space)
+    model = _PageModel(nprocs, space.npages)
+    est = TrafficEstimate(analyzable=True, nprocs=nprocs)
+    shared_pages = 0
+
+    def scalar_page(name: str) -> int:
+        return space[REDUCTION_PREFIX + name].first_page
+
+    for unit in exe.units:
+        if unit.mark is not None:
+            continue
+        if unit.seq is not None:
+            est.seq_units += 1
+            pending: list = []
+            for page in _seq_page_bytes(unit.seq, space, "reads"):
+                model.access(0, page)
+            for page, nbytes in _seq_page_bytes(unit.seq, space,
+                                                "writes").items():
+                model.write(0, page, nbytes, pending)
+            model.close_epoch(pending)
+            continue
+        est.loop_units += 1
+        reductions = [red for loop in unit.loops for red in loop.reductions]
+        for red in reductions:
+            # the master resets the shared scalar before forking; the
+            # fork's release makes the write visible to every worker
+            est.red_instances += 1
+            pending = []
+            model.write(0, scalar_page(red.name), 8, pending)
+            model.close_epoch(pending)
+        pending = []
+        for pid in range(nprocs):
+            read_pages: dict = {}
+            write_pages: dict = {}
+            for loop in unit.loops:
+                for page, nb in _chunk_page_bytes(exe, loop, space, pid,
+                                                  "reads").items():
+                    read_pages[page] = read_pages.get(page, 0) + nb
+                for page, nb in _chunk_page_bytes(exe, loop, space, pid,
+                                                  "writes").items():
+                    write_pages[page] = write_pages.get(page, 0) + nb
+            for page in sorted(read_pages):
+                model.access(pid, page)
+            for page in sorted(write_pages):
+                model.write(pid, page, write_pages[page], pending)
+        writer_count: dict = {}
+        for page, _rec in pending:
+            writer_count[page] = writer_count.get(page, 0) + 1
+        shared_pages += sum(1 for c in writer_count.values() if c >= 2)
+        model.close_epoch(pending)
+        # lock-ordered folds: each processor pulls the previous holder's
+        # notices (visible immediately), twins the scalar page, releases
+        for red in reductions:
+            page = scalar_page(red.name)
+            for pid in range(nprocs):
+                est.lock_acquires += 1
+                if pid != 0:
+                    est.lock_remote += 1
+                fold_pending: list = []
+                model.write(pid, page, 8, fold_pending)
+                model.close_epoch(fold_pending)
+    for name in exe.reductions:
+        model.access(0, scalar_page(name))
+
+    est.read_faults = model.read_faults
+    est.write_faults = model.write_faults
+    est.fetches = model.fetches
+    est.fetch_requests = model.fetch_requests
+    est.diffs_applied = model.diffs_applied
+    est.twins_created = model.twins
+    est.diffs_created = model.diffs_created
+    est.est_diff_kb = model.diff_bytes / 1024.0
+    est.shared_write_pages = shared_pages
+    # message model: 2 per diff request/response pair, 2(n-1) per fork-join
+    # dispatch (improved interface), ~3 per remote lock acquire (request,
+    # forward, grant) and n-1 shutdown notices
+    per_dispatch = 2 * (nprocs - 1)
+    if options is not None and not getattr(options, "improved_interface",
+                                           True):
+        per_dispatch = 8 * (nprocs - 1)
+    est.est_messages = (2 * est.fetch_requests
+                        + per_dispatch * est.loop_units
+                        + 3 * est.lock_remote
+                        + (nprocs - 1))
+    return est
+
+
+# ---------------------------------------------------------------------- #
+# driver
+
+def _apply_suppressions(findings: list, suppress) -> tuple:
+    if not suppress:
+        return findings, 0
+    kept = []
+    dropped = 0
+    for f in findings:
+        probe = (f.rule, f"{f.rule}:{_family(f.stmt)}")
+        if any(fnmatch(p, pat) for p in probe for pat in suppress):
+            dropped += 1
+        else:
+            kept.append(f)
+    return kept, dropped
+
+
+def lint_program(program: Program, nprocs: int = 8, *, options=None,
+                 backends: tuple = ("spf", "xhpf"), shadow: bool = True,
+                 traffic: bool = False, suppress=()) -> LintReport:
+    """Run every lint rule over one program instance.
+
+    ``options`` are the :class:`~repro.compiler.spf.SpfOptions` the
+    program would be compiled with (fused loops silence the
+    redundant-barrier rule); ``backends`` selects which backend-specific
+    rule sets apply; ``shadow`` enables the footprint sanitizer (it
+    executes every kernel once); ``traffic`` attaches the static DSM
+    traffic estimate.
+    """
+    findings = _check_wellformed(program, nprocs, backends)
+    fatal = any(f.severity == "error" for f in findings)
+    if not fatal:
+        # later rules resolve regions and run kernels: only sound on a
+        # well-formed program
+        if shadow:
+            findings += _check_footprints(program, nprocs)
+        if "spf" in backends:
+            findings += _check_redundant_barriers(program, nprocs, options)
+            findings += _check_false_sharing(program, nprocs, options)
+    estimate = None
+    if traffic and not fatal and "spf" in backends:
+        estimate = estimate_spf_traffic(program, nprocs, options)
+    findings, suppressed = _apply_suppressions(findings, suppress)
+    return LintReport(program=program.name, nprocs=nprocs,
+                      findings=findings, traffic=estimate,
+                      suppressed=suppressed)

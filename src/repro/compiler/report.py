@@ -16,8 +16,8 @@ from typing import Optional
 
 from repro.compiler import analysis
 from repro.compiler.ir import ParallelLoop, Program, SeqBlock
-from repro.compiler.spf import SpfExecutable, SpfOptions, compile_spf
-from repro.compiler.xhpf import XhpfExecutable, XhpfOptions, compile_xhpf
+from repro.compiler.spf import SpfOptions, compile_spf
+from repro.compiler.xhpf import XhpfOptions, compile_xhpf
 
 __all__ = ["spf_report", "xhpf_report", "footprint_report",
            "source_lookup"]

@@ -61,4 +61,19 @@ def assemble_report(results_dir: Optional[pathlib.Path] = None) -> str:
     if found == 0 and not extras:
         lines.append("No archived results found — run the benchmarks "
                      "first.")
+    lines += ["## Static lint", ""] + _lint_section()
     return "\n".join(lines)
+
+
+def _lint_section() -> list:
+    """Live lint badges next to the archived paper-facing metrics.
+
+    Lint is static (no simulation), so unlike the benchmark tables it is
+    recomputed on every report; a crash in the linter must not take the
+    report down with it."""
+    try:
+        from repro.eval.lintreport import lint_registry
+        summary = lint_registry(preset="test")
+    except Exception as exc:                    # pragma: no cover
+        return [f"*(lint unavailable: {exc})*", ""]
+    return ["```", summary.format(), "```", ""]

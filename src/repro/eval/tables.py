@@ -8,7 +8,6 @@ the *orderings* and *ratios* the paper's conclusions rest on.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.eval.constants import PAPER, VARIANT_NAMES
 

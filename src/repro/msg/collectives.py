@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-import numpy as np
 
 from repro.msg.endpoint import Comm
 

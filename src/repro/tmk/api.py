@@ -29,7 +29,7 @@ from repro.sim.cluster import Cluster, ProcEnv, RunResult
 from repro.sim.faults import FaultPlan
 from repro.sim.machine import MachineModel
 from repro.tmk.faststate import fastpath_enabled_from_env
-from repro.tmk.pagespace import ArrayHandle, SharedSpace
+from repro.tmk.pagespace import SharedSpace
 from repro.tmk.protocol import TmkNode
 from repro.tmk.server import start_server
 from repro.tmk.shared import SharedArray

@@ -25,7 +25,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.sim.machine import PAGE_SIZE
-from repro.tmk.diffs import apply_diff, diff_nbytes, make_diff
+from repro.tmk.diffs import apply_diff, diff_nbytes
 from repro.tmk.pagespace import ArrayHandle
 from repro.tmk.protocol import (TAG_FETCH_REP, TAG_PUSH, TAG_TMK_REQ,
                                 DiffRequest, TmkNode)

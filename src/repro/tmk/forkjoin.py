@@ -26,7 +26,7 @@ reverse.  ``benchmarks/test_sec23_interface.py`` reproduces the 8(n-1) →
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

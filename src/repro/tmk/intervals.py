@@ -17,7 +17,7 @@ of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 __all__ = ["IntervalRecord", "SeenVector", "records_unknown_to",
            "notice_payload_nbytes"]

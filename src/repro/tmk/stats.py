@@ -9,7 +9,7 @@ traffic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["DsmStats"]
 

@@ -150,3 +150,68 @@ def test_fusable_single_processor_always():
                       writes=[Access("b", (Span(), Full()))])
     prog = make_prog([l1, l2])
     assert loops_fusable(l1, l2, 1, prog)
+
+
+# ---------------------------------------------------------------------- #
+# partition edge cases (shared by backends and the lint pass)
+
+def test_loop_chunk_block_covers_iteration_space():
+    from repro.compiler.analysis import loop_chunk
+    loop = ParallelLoop("l", 13, kern, start=2)
+    covered = []
+    for pid in range(4):
+        lo, hi = loop_chunk(loop, pid, 4)
+        covered.extend(range(lo, hi))
+    assert covered == list(range(2, 13))
+
+
+def test_loop_chunk_cyclic_partitions_exactly():
+    from repro.compiler.analysis import loop_chunk
+    loop = ParallelLoop("l", 14, kern, schedule="cyclic", start=3)
+    owned = np.concatenate([loop_chunk(loop, pid, 4) for pid in range(4)])
+    assert sorted(owned.tolist()) == list(range(3, 14))
+
+
+def test_loop_chunk_empty_cyclic_tail():
+    """More processors than remaining iterations: some own nothing."""
+    from repro.compiler.analysis import loop_chunk
+    loop = ParallelLoop("l", 4, kern, schedule="cyclic", start=2)
+    sizes = [loop_chunk(loop, pid, 4).size for pid in range(4)]
+    assert sorted(sizes, reverse=True) == [1, 1, 0, 0]
+
+
+def test_chunk_rects_empty_cyclic_chunk_is_empty_dict():
+    loop = ParallelLoop("l", 4, kern, schedule="cyclic", start=3,
+                        writes=[Access("a", (Span(), Full()))])
+    prog = make_prog([loop])
+    # only one iteration remains; the other three processors touch nothing
+    nonempty = [pid for pid in range(4)
+                if chunk_rects(loop, "writes", pid, 4, prog)]
+    assert len(nonempty) == 1
+
+
+def test_chunk_rects_zero_extent_block_chunks():
+    """start == extent: every processor's block chunk is empty."""
+    loop = ParallelLoop("l", 8, kern, start=8,
+                        writes=[Access("a", (Span(), Full()))])
+    prog = make_prog([loop])
+    assert all(chunk_rects(loop, "writes", pid, 4, prog) == {}
+               for pid in range(4))
+
+
+def test_access_rect_negative_point_wraps_once():
+    acc = Access("a", (Point(-1),))
+    assert access_rect(acc, 0, 0, (64, 16)) == ((63, 64), (0, 16))
+
+
+def test_cyclic_bounding_interval_is_conservative():
+    """Two identical cyclic loops never cross processors in reality, but
+    the bounding-interval over-approximation must refuse to fuse them
+    (intervals of different pids overlap) — conservative, never unsafe."""
+    l1 = ParallelLoop("l1", 64, kern, schedule="cyclic",
+                      writes=[Access("a", (Span(), Full()))])
+    l2 = ParallelLoop("l2", 64, kern, schedule="cyclic",
+                      reads=[Access("a", (Span(), Full()))],
+                      writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([l1, l2])
+    assert not loops_fusable(l1, l2, 4, prog)

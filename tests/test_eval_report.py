@@ -42,3 +42,19 @@ def test_cli_report(tmp_path, capsys):
 def test_default_directory_is_benchmarks_results():
     text = assemble_report()
     assert "benchmarks" in text
+
+
+def test_report_includes_lint_badges():
+    from repro.eval.lintreport import lint_registry
+    summary = lint_registry(apps=["jacobi", "igrid"], nprocs=4)
+    assert summary.ok
+    text = summary.format()
+    assert "jacobi" in text and "clean" in text
+    # irregular apps are lint-clean but traffic-unanalyzable
+    assert summary.badge("igrid").startswith("clean")
+    assert "unanalyzable" in text
+
+
+def test_assemble_report_has_lint_section(tmp_path):
+    text = assemble_report(tmp_path)
+    assert "## Static lint" in text

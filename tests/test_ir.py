@@ -135,3 +135,44 @@ def test_validate_catches_undeclared_accumulate():
                            accumulate=["ghost"])])
     with pytest.raises(ValueError, match="accumulate"):
         prog.validate()
+
+
+# ---------------------------------------------------------------------- #
+# structured footprint errors and measurement windows (lint plumbing)
+
+def test_footprint_error_rank_fields():
+    from repro.compiler.ir import FootprintError
+    acc = Access("a", (Span(), Full(), Full()))
+    with pytest.raises(FootprintError) as info:
+        acc.resolve(0, 1, (8, 8))
+    err = info.value
+    assert err.array == "a" and err.kind == "rank"
+    assert err.region_rank == 3 and err.array_rank == 2
+    assert "a:" in str(err)
+
+
+def test_footprint_error_bounds_fields():
+    from repro.compiler.ir import FootprintError
+    acc = Access("a", (Point(12),))
+    with pytest.raises(FootprintError) as info:
+        acc.resolve(0, 0, (8,))
+    err = info.value
+    assert err.kind == "bounds" and err.dim == 0
+    assert err.index == 12 and err.extent == 8
+    # a FootprintError is still a ValueError for existing callers
+    assert isinstance(err, ValueError)
+
+
+def test_flat_statements_with_window():
+    loop = ParallelLoop("l", 4, lambda v, lo, hi: None)
+    init = SeqBlock("init", lambda v: None)
+    tail = SeqBlock("tail", lambda v: None)
+    prog = Program("p", arrays=[ArrayDecl("a", (4,))],
+                   body=[init, Mark("start"),
+                         TimeLoop("t", 2, [loop]),
+                         Mark("stop"), tail])
+    seen = [(s.name if not isinstance(s, Mark) else f"mark:{s.label}", w)
+            for s, w in prog.flat_statements_with_window()]
+    assert ("init", "setup") in seen
+    assert seen.count(("l", "measured")) == 2
+    assert ("tail", "epilogue") in seen

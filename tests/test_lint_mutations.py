@@ -1,0 +1,129 @@
+"""Seeded mutation tests: break a shipped program, assert lint catches it.
+
+Each test injects one class of bug — a footprint lie, a superfluous
+barrier pair, a page-straddling partition — at a seed-chosen location and
+asserts the *intended* rule fires with the right statement and array
+attribution.  The shipped apps lint clean (tests/test_lint.py), so any
+finding here is caused by the mutation.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.common import get_app
+from repro.compiler.ir import (Access, ArrayDecl, Full, ParallelLoop,
+                               Program, Span, TimeLoop)
+from repro.compiler.lint import lint_program
+
+SEEDS = [11, 23, 47]
+
+
+def _family(name):
+    return name.split("[")[0]
+
+
+def _build(app):
+    spec = get_app(app)
+    return spec.build_program(spec.params("test"))
+
+
+def _parallel_loops(program):
+    """Unique ParallelLoop objects (instances shared across TimeLoops)."""
+    out, seen = [], set()
+    for stmt, _w in program.flat_statements_with_window():
+        if isinstance(stmt, ParallelLoop) and id(stmt) not in seen:
+            seen.add(id(stmt))
+            out.append(stmt)
+    return out
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_footprint_lie_is_caught(seed):
+    """Narrow a halo read Span(-1,1) -> Span(): the shadow sanitizer must
+    attribute the undeclared read to the mutated loop and array."""
+    rng = random.Random(seed)
+    app = rng.choice(["jacobi", "shallow"])
+    program = _build(app)
+    victims = []
+    for loop in _parallel_loops(program):
+        for i, acc in enumerate(loop.reads):
+            if acc.irregular or not acc.region:
+                continue
+            lead = acc.region[0]
+            if isinstance(lead, Span) and (lead.lo_off < 0
+                                           or lead.hi_off > 0):
+                victims.append((loop, i))
+    assert victims, f"{app} has no halo reads to mutate"
+    loop, i = rng.choice(victims)
+    acc = loop.reads[i]
+    loop.reads[i] = Access(acc.array, (Span(),) + tuple(acc.region[1:]))
+
+    rep = lint_program(program, 4, backends=("spf",))
+    hits = [f for f in rep.findings if f.rule == "footprint"
+            and f.severity == "error"]
+    assert hits, rep.format()
+    assert any(f.array == acc.array
+               and _family(f.stmt) == _family(loop.name) for f in hits), \
+        rep.format()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_extra_barrier_pair_is_caught(seed):
+    """Append a no-op loop that only re-touches a victim loop's output,
+    chunk-aligned: the barrier between them is provably eliminable."""
+    rng = random.Random(seed)
+    program = _build("jacobi")
+    victim = rng.choice([loop for loop in _parallel_loops(program)
+                         if loop.name in ("stencil", "copy")])
+    out = victim.writes[0].array
+
+    def noop_kernel(views, lo, hi):
+        return None
+
+    extra = ParallelLoop("redundant", victim.extent, noop_kernel,
+                         reads=[Access(out, (Span(), Full()))],
+                         writes=[Access(out, (Span(), Full()))],
+                         align=(out, 0))
+    for stmt in program.body:
+        if isinstance(stmt, TimeLoop) and not callable(stmt.body):
+            idx = stmt.body.index(victim)
+            stmt.body.insert(idx + 1, extra)
+            break
+
+    rep = lint_program(program, 4, backends=("spf",))
+    pairs = {(f.details["pred"], f.stmt) for f in rep.findings
+             if f.rule == "redundant-barrier"}
+    assert (victim.name, "redundant") in pairs, rep.format()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_page_straddling_partition_is_caught(seed):
+    """Shrink rows off the page-size grid: chunk boundaries land inside
+    pages and the false-sharing rule names the straddled array."""
+    rng = random.Random(seed)
+    n = 32
+
+    def build(cols):
+        def kernel(views, lo, hi):
+            views["g"][lo:hi] = 1.0
+
+        loop = ParallelLoop("write", n, kernel,
+                            writes=[Access("g", (Span(), Full()))],
+                            align=("g", 0))
+        return Program("straddle",
+                       arrays=[ArrayDecl("g", (n, cols), np.float32,
+                                         distribute=0)],
+                       body=[loop])
+
+    # clean baseline: 8 rows x 128 cols x 4 B = exactly one page per chunk
+    clean = lint_program(build(128), 4, backends=("spf",))
+    assert not [f for f in clean.findings if f.rule == "false-sharing"], \
+        clean.format()
+
+    cols = rng.choice([96, 160, 200])       # 32*cols not a page multiple
+    rep = lint_program(build(cols), 4, backends=("spf",))
+    hits = [f for f in rep.findings if f.rule == "false-sharing"]
+    assert hits and hits[0].stmt == "write", rep.format()
+    assert "g" in hits[0].details

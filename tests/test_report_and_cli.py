@@ -124,3 +124,39 @@ def test_cli_rejects_unknown_app():
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------- #
+# python -m repro lint
+
+def test_cli_lint_single_app(capsys):
+    assert main(["lint", "jacobi", "--no-traffic", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "jacobi" in out and "clean" in out
+
+
+def test_cli_lint_strict_counts_warnings(capsys):
+    # jacobi's test-size grid has sub-page chunks: false-sharing warnings
+    assert main(["lint", "jacobi", "--no-traffic", "--quiet",
+                 "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "warning" in out
+
+
+def test_cli_lint_suppression_restores_strict(capsys):
+    assert main(["lint", "jacobi", "--no-traffic", "--quiet", "--strict",
+                 "--suppress", "false-sharing"]) == 0
+
+
+def test_cli_lint_unknown_app(capsys):
+    assert main(["lint", "doom"]) == 2
+    assert "unknown application" in capsys.readouterr().err
+
+
+def test_cli_lint_json_out(tmp_path, capsys):
+    out_path = tmp_path / "lint.json"
+    assert main(["lint", "jacobi", "--no-traffic", "--quiet",
+                 "--out", str(out_path)]) == 0
+    import json
+    doc = json.loads(out_path.read_text())
+    assert doc["ok"] is True and "jacobi" in doc["apps"]
