@@ -5,6 +5,7 @@ Commands
 ``run APP VARIANT``      run one application variant and print its metrics
 ``compare APP``          run all four variants of one application
 ``figures``              regenerate the paper's figures/tables (bench sizes)
+``sweep``                analytic model at 8-1024 nodes (extended tables)
 ``explain APP``          print both compilers' compilation reports
 ``racecheck APP VARIANT``  fuzz schedules + happens-before race detection
 ``chaos``                sweep fault seeds; assert numerics vs fault-free
@@ -14,6 +15,8 @@ Commands
 Examples::
 
     python -m repro run igrid spf -n 8 --preset bench --stats
+    python -m repro run jacobi spf -n 64 --mode model --preset test
+    python -m repro sweep --apps jacobi --nodes 8 16 64 --out sweep.json
     python -m repro compare jacobi --preset test
     python -m repro explain mgs
     python -m repro racecheck igrid spf --seeds 5
@@ -43,9 +46,46 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="problem size preset (default bench)")
 
 
+def _parse_machine(pairs):
+    """``KEY=VALUE`` overrides of SP2_MODEL fields -> MachineModel."""
+    from dataclasses import fields
+
+    from repro.sim.machine import SP2_MODEL
+
+    if not pairs:
+        return None
+    types = {f.name: type(getattr(SP2_MODEL, f.name))
+             for f in fields(SP2_MODEL)}
+    overrides = {}
+    for pair in pairs:
+        key, sep, val = pair.partition("=")
+        if not sep or key not in types:
+            raise SystemExit(
+                f"bad --machine override {pair!r} (expected KEY=VALUE with "
+                f"KEY one of {', '.join(sorted(types))})")
+        cast = types[key]
+        overrides[key] = cast(float(val)) if cast is int else cast(val)
+    return SP2_MODEL.with_(**overrides)
+
+
 def cmd_run(args) -> int:
-    res = run_variant(args.app, args.variant, nprocs=args.nprocs,
-                      preset=args.preset)
+    if args.mode == "model":
+        from repro.compiler.model import (MODELED_VARIANTS,
+                                          ModelUnsupportedVariant,
+                                          model_variant)
+        try:
+            res = model_variant(args.app, args.variant, nprocs=args.nprocs,
+                                preset=args.preset,
+                                machine=_parse_machine(args.machine))
+        except ModelUnsupportedVariant:
+            print(f"variant {args.variant!r} has no analytic model "
+                  f"(modeled variants: {', '.join(MODELED_VARIANTS)}); "
+                  f"use --mode sim", file=sys.stderr)
+            return 2
+    else:
+        res = run_variant(args.app, args.variant, nprocs=args.nprocs,
+                          preset=args.preset,
+                          model=_parse_machine(args.machine))
     print(res.row())
     if res.dsm is not None:
         print("dsm:", res.dsm.summary())
@@ -90,6 +130,26 @@ def cmd_figures(args) -> int:
     print()
     print(format_traffic_table(irregular, IRREGULAR_APPS,
                                "Table 3 — Messages and Data (KB)"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    import json
+    import os
+
+    from repro.eval.sweep import format_sweep_tables, run_sweep
+
+    doc = run_sweep(apps=args.apps or None, variants=args.variants or None,
+                    nodes=tuple(args.nodes), preset=args.preset,
+                    machine=_parse_machine(args.machine),
+                    progress=(None if args.quiet else
+                              lambda m: print(m, file=sys.stderr)))
+    print(format_sweep_tables(doc))
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"results -> {args.out}")
     return 0
 
 
@@ -251,6 +311,13 @@ def main(argv=None) -> int:
                    + ["seq"])
     p.add_argument("--stats", action="store_true",
                    help="print fast-path/coherence counters (DSM variants)")
+    p.add_argument("--mode", default="sim", choices=["sim", "model"],
+                   help="sim: event simulation (default); model: analytic "
+                        "prediction from repro.compiler.model, flagged "
+                        "[model] in the output")
+    p.add_argument("--machine", nargs="*", default=None, metavar="KEY=VALUE",
+                   help="override SP2 machine parameters, e.g. "
+                        "latency=5e-5 byte_time=4e-8")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
 
@@ -262,6 +329,32 @@ def main(argv=None) -> int:
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     _add_common(p)
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run the analytic model across node counts and emit the "
+             "extended speedup/traffic tables (all results are modeled)")
+    p.add_argument("--apps", nargs="*", default=None, choices=APPS,
+                   help="applications to model (default: all)")
+    p.add_argument("--variants", nargs="*", default=None,
+                   choices=["spf", "spf_old", "xhpf", "xhpf_ie"],
+                   help="modeled variants (default: spf spf_old xhpf "
+                        "xhpf_ie)")
+    p.add_argument("--nodes", nargs="*", type=int,
+                   default=[8, 16, 64, 256, 1024],
+                   help="node counts to model (default: 8 16 64 256 1024)")
+    p.add_argument("--preset", default="test",
+                   choices=["paper", "bench", "test"],
+                   help="problem size preset (default test; the model is "
+                        "validated against the simulator at this size)")
+    p.add_argument("--machine", nargs="*", default=None, metavar="KEY=VALUE",
+                   help="override SP2 machine parameters (see repro.sim."
+                        "machine.MachineModel)")
+    p.add_argument("--out", default=None,
+                   help="write the sweep document as JSON to this path")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress on stderr")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("explain", help="print the compilers' decisions")
     p.add_argument("app", choices=APPS)

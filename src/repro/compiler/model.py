@@ -1,0 +1,1280 @@
+"""Analytic performance model: predict time/messages/bytes without events.
+
+The event simulator stops being practical past a few dozen nodes, yet the
+interesting scaling questions — does the 2(n-1) fork-join beat the 8(n-1)
+one at 256 nodes?  when does XHPF's broadcast-everything fallback drown the
+network? — live at 16-1024 nodes.  Following the compositional modeling
+methodology (Czappa et al.), this module walks the *same compiled program
+structure* the backends execute and composes closed-form per-phase cost
+terms along it, instead of scheduling events:
+
+* the DSM variants (``spf``/``spf_old``) are modeled by a deterministic
+  *protocol replica*: the real interval/vector-time machinery
+  (:mod:`repro.tmk.intervals`), barrier/lock bookkeeping
+  (:mod:`repro.tmk.sync`) and the LRC diff/fetch rules of
+  :mod:`repro.tmk.protocol` are advanced in lockstep over the compiled
+  schedule, with word-granularity write masks standing in for twins;
+* the message-passing variants (``xhpf``/``xhpf_ie``) are modeled by
+  replaying the XHPF runtime's exchange/broadcast/inspector enumeration
+  arithmetically — the same footprints, owners and packet segmentation,
+  but no message objects in flight;
+* ``seq`` degenerates to the sequential oracle.
+
+Predictions carry the same :class:`~repro.eval.experiments.VariantResult`
+shape as a simulation, flagged ``mode="model"``.  Message and byte counts
+are the contract — ``tests/test_model_validation.py`` pins them against the
+simulator at N <= 8 (validate small), which is what licenses the
+``repro sweep`` extrapolation to 1024 nodes (trust large).  Virtual time is
+a documented heuristic: protocol overheads are charged at the simulator's
+rates but request/reply concurrency is approximated (see docs/MODEL.md).
+
+The hand-coded variants (``tmk``/``pvme``) have no IR to compose over, and
+``spf_opt`` exercises enhanced-interface paths the model does not replicate;
+all three raise :class:`ModelUnsupportedVariant` — refusal is part of the
+contract, exactly as the static lint refuses irregular apps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.common import get_app
+from repro.compiler.ir import Access, Mark, ParallelLoop, Point, SeqBlock, Span
+from repro.compiler.partition import block_owner, block_range, cyclic_indices
+from repro.compiler.seq import sequential_time
+from repro.compiler.spf import (REDUCTION_PREFIX, STAGING_PREFIX, SpfOptions,
+                                _ensure_order, compile_spf)
+from repro.compiler.xhpf import XhpfOptions, compile_xhpf
+from repro.sim.machine import PAGE_SIZE, SP2_MODEL, MachineModel
+from repro.tmk.forkjoin import CONTROL_BYTES, CTRL_ARG, CTRL_SUB, STOP
+from repro.tmk.intervals import (IntervalRecord, SeenVector,
+                                 notice_payload_nbytes, records_unknown_to)
+from repro.tmk.pagespace import SharedSpace
+from repro.tmk.stats import DsmStats
+from repro.tmk.sync import BarrierManager, LockTable
+
+__all__ = ["ModelUnsupportedVariant", "MODELED_VARIANTS", "model_variant"]
+
+MODELED_VARIANTS = ("seq", "spf", "spf_old", "xhpf", "xhpf_ie")
+
+_WORD = 4
+_RUN_HEADER = 8
+_WORDS_PER_PAGE = PAGE_SIZE // _WORD
+
+
+class ModelUnsupportedVariant(ValueError):
+    """The analytic model declines this variant (no IR / unmodeled paths)."""
+
+
+# ---------------------------------------------------------------------- #
+# traffic bookkeeping (mirrors sim.network.NetworkStats payload counting)
+
+class _Traffic:
+    """Message/byte totals per category — the model's NetworkStats."""
+
+    def __init__(self):
+        self.messages = 0
+        self.bytes = 0
+        self.by_category: dict[str, list] = {}
+
+    def send(self, nbytes: int, category: str, count: int = 1) -> None:
+        """Record ``count`` wire messages carrying ``nbytes`` payload total."""
+        self.messages += count
+        self.bytes += nbytes
+        cell = self.by_category.setdefault(category, [0, 0])
+        cell[0] += count
+        cell[1] += nbytes
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bytes / 1024.0
+
+    def snapshot(self) -> "_Traffic":
+        snap = _Traffic()
+        snap.messages = self.messages
+        snap.bytes = self.bytes
+        snap.by_category = {k: list(v) for k, v in self.by_category.items()}
+        return snap
+
+    def delta(self, earlier: "_Traffic") -> "_Traffic":
+        out = _Traffic()
+        out.messages = self.messages - earlier.messages
+        out.bytes = self.bytes - earlier.bytes
+        for key in set(self.by_category) | set(earlier.by_category):
+            a = self.by_category.get(key, [0, 0])
+            b = earlier.by_category.get(key, [0, 0])
+            out.by_category[key] = [a[0] - b[0], a[1] - b[1]]
+        return out
+
+
+def _mask_diff_nbytes(mask: np.ndarray) -> int:
+    """Wire size of the diff a twin comparison with this word mask yields.
+
+    Mirrors :func:`repro.tmk.diffs.make_diff` + ``diff_nbytes``: maximal
+    runs of consecutive changed words, each run costing its data bytes plus
+    a (base, length) header.
+    """
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return 0
+    runs = 1 + int(np.count_nonzero(np.diff(idx) > 1))
+    return int(idx.size) * _WORD + runs * _RUN_HEADER
+
+
+def _seg_count(nbytes: int, packet: Optional[int]) -> int:
+    """Packets one logical send becomes (Comm.send segmentation rule)."""
+    if packet and nbytes > packet:
+        full, last = divmod(nbytes, packet)
+        return full + (1 if last else 0)
+    return 1
+
+
+def _tree_depth(n: int) -> int:
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+# ---------------------------------------------------------------------- #
+# public entry point
+
+def model_variant(app: str, variant: str, nprocs: int = 8,
+                  preset: str = "bench",
+                  machine: Optional[MachineModel] = None,
+                  seq_time: Optional[float] = None,
+                  gc_epochs: Optional[int] = 8):
+    """Predict one (application, variant) run analytically.
+
+    Returns a :class:`~repro.eval.experiments.VariantResult` with
+    ``mode="model"``; same fields as ``run_variant`` (``dsm`` carries the
+    predicted :class:`DsmStats` for the DSM variants).  Raises
+    :class:`ModelUnsupportedVariant` for ``tmk``/``pvme``/``spf_opt``.
+    """
+    from repro.eval.experiments import VariantResult, _seq_result
+
+    if variant not in MODELED_VARIANTS:
+        raise ModelUnsupportedVariant(
+            f"variant {variant!r} is not analytically modeled "
+            f"(hand-coded programs have no IR to compose over; spf_opt "
+            f"uses enhanced-interface paths the model does not replicate); "
+            f"modeled variants: {MODELED_VARIANTS}")
+
+    spec = get_app(app)
+    params = spec.params(preset)
+    mach = (machine or SP2_MODEL).with_(nprocs=nprocs)
+
+    if variant == "seq":
+        res = _seq_result(spec, params, preset)
+        res.mode = "model"
+        return res
+
+    if seq_time is None:
+        seq_time = sequential_time(spec.build_program(params))
+
+    program = spec.build_program(params)
+    if variant in ("spf", "spf_old"):
+        options = SpfOptions(improved_interface=(variant == "spf"))
+        m = _SpfModel(program, nprocs, mach, options, gc_epochs=gc_epochs)
+    else:
+        options = XhpfOptions(inspector_executor=(variant == "xhpf_ie"))
+        m = _XhpfModel(program, nprocs, mach, options)
+    m.run()
+
+    elapsed, wtraffic = m.window()
+    total = m.traffic
+    return VariantResult(
+        app=app, variant=variant, nprocs=nprocs, preset=preset,
+        time=elapsed, seq_time=seq_time,
+        messages=wtraffic.messages, kilobytes=wtraffic.kilobytes,
+        signature=dict(m.scalars), dsm=m.dsm_stats,
+        total_messages=total.messages, total_kilobytes=total.kilobytes,
+        categories={k: (v[0], v[1]) for k, v in wtraffic.by_category.items()},
+        mode="model",
+    )
+
+
+class _ModelBase:
+    """Shared mark/window bookkeeping for both backend replicas."""
+
+    def __init__(self):
+        self.traffic = _Traffic()
+        self.marks: dict[str, tuple] = {}
+        self.scalars: dict = {}
+        self.dsm_stats: Optional[DsmStats] = None
+        self._finish = 0.0
+
+    def _mark(self, label: str, now: float) -> None:
+        self.marks[label] = (now, self.traffic.snapshot())
+
+    def window(self, start: str = "start", stop: str = "stop"):
+        """(elapsed, traffic) between marks — RunResult.window semantics."""
+        if start not in self.marks or stop not in self.marks:
+            return self._finish, self.traffic
+        t0, s0 = self.marks[start]
+        t1, s1 = self.marks[stop]
+        return t1 - t0, s1.delta(s0)
+
+
+# ---------------------------------------------------------------------- #
+# the DSM protocol replica (spf / spf_old)
+
+class _MPage:
+    """PageMeta replica (twin presence lives in the node's mask dict)."""
+
+    __slots__ = ("valid", "pending", "applied", "last_written",
+                 "last_closed", "last_okey", "sticky")
+
+    def __init__(self):
+        self.valid = True
+        self.pending: dict[int, int] = {}
+        self.applied: dict[int, int] = {}
+        self.last_written = 0
+        self.last_closed = 0
+        self.last_okey: Optional[tuple] = None
+        self.sticky = False
+
+    def missing_writers(self) -> list:
+        out = []
+        for w, need in self.pending.items():
+            have = self.applied.get(w, 0)
+            if need > have:
+                out.append((w, have))
+        return out
+
+
+class _CacheEnt:
+    """Diff-cache entry replica: sizes instead of run lists."""
+
+    __slots__ = ("top", "wm", "okey", "nbytes", "epoch")
+
+    def __init__(self, top, wm, okey, nbytes, epoch):
+        self.top = top
+        self.wm = wm
+        self.okey = okey
+        self.nbytes = nbytes
+        self.epoch = epoch
+
+
+class _MNode:
+    """One processor's protocol state (TmkNode replica, no memory image)."""
+
+    def __init__(self, pid: int, nprocs: int):
+        self.pid = pid
+        self.nprocs = nprocs
+        self.seen = SeenVector(nprocs)
+        self.open_writes: set[int] = set()
+        self.log_current: list[IntervalRecord] = []
+        self.log_prev: list[IntervalRecord] = []
+        self.meta: dict[int, _MPage] = {}
+        self.masks: dict[int, np.ndarray] = {}   # page -> changed-word mask
+        self.diff_cache: dict[int, list] = {}
+        self.gc_floor: dict[int, int] = {}
+        self.epoch = 0
+        self.time = 0.0
+        self.prev_touched: dict = {}
+
+    def page(self, page: int) -> _MPage:
+        m = self.meta.get(page)
+        if m is None:
+            m = _MPage()
+            self.meta[page] = m
+        return m
+
+    @property
+    def retained_log(self) -> list:
+        return self.log_prev + self.log_current
+
+
+class _SpfModel(_ModelBase):
+    """Lockstep replica of the SPF-on-TreadMarks execution.
+
+    One converged global memory image stands in for every node's private
+    copy (legal for race-free programs: a node always faults a page current
+    before touching it).  Per-node boolean word masks stand in for twins;
+    diff sizes come from the masks via the exact ``make_diff`` run rules.
+    Each dispatch unit advances in phases — read faults for every
+    processor, then write faults + kernels, then staging, then serialized
+    reduction folds — which is the typical interleaving the simulator's
+    scheduler produces (everyone faults at chunk start).
+    """
+
+    def __init__(self, program, nprocs: int, machine: MachineModel,
+                 options: SpfOptions, gc_epochs: Optional[int] = 8):
+        super().__init__()
+        self.machine = machine
+        self.nprocs = nprocs
+        self.gc_epochs = gc_epochs
+        self.exe = compile_spf(program, nprocs, options)
+        self.space = SharedSpace()
+        self.exe.setup_space(self.space)
+        self.image = np.zeros(self.space.nbytes, dtype=np.uint8)
+        self.words = self.image.view(np.uint32)
+        self.views = {h.name: self.image[h.offset:h.offset + h.nbytes]
+                      .view(h.dtype).reshape(h.shape)
+                      for h in self.space.handles()}
+        self.nodes = [_MNode(pid, nprocs) for pid in range(nprocs)]
+        self.stats = DsmStats()
+        self.dsm_stats = self.stats
+        self.barrier_mgr = BarrierManager(nprocs)
+        self.lock_table = LockTable(nprocs)
+        self._worker_seen = {w: SeenVector(nprocs)
+                             for w in range(1, nprocs)}
+        so, ro = machine.send_overhead, machine.recv_overhead
+        self._hop = lambda nbytes: so + machine.message_time(nbytes) + ro
+
+    # ---- faulting (ensure_read / ensure_write replicas) ------------------
+
+    def _ensure_read_pages(self, node: _MNode, pages) -> None:
+        for page in np.asarray(pages).tolist():
+            m = node.page(page)
+            if m.valid:
+                continue
+            self.stats.read_faults += 1
+            node.time += self.machine.fault_overhead
+            self._fetch(node, page, m)
+
+    def _ensure_write_pages(self, node: _MNode, pages) -> None:
+        mach = self.machine
+        for page in np.asarray(pages).tolist():
+            m = node.page(page)
+            if not m.valid:
+                self.stats.read_faults += 1
+                node.time += mach.fault_overhead
+                self._fetch(node, page, m)
+            if page not in node.masks:
+                self.stats.write_faults += 1
+                self.stats.twins_created += 1
+                node.time += mach.fault_overhead + mach.twin_overhead
+                node.masks[page] = np.zeros(_WORDS_PER_PAGE, dtype=bool)
+            m.last_written = node.seen[node.pid] + 1
+            node.open_writes.add(page)
+
+    def _fetch(self, node: _MNode, page: int, m: _MPage) -> None:
+        missing = m.missing_writers()
+        if not missing:
+            m.valid = True
+            return
+        self.stats.fetches += 1
+        mach = self.machine
+        replies = []
+        for w, from_id in missing:
+            self.traffic.send(24, "diff_req")
+            node.time += self._hop(24) + mach.protocol_overhead
+            entries, full_top, full_applied = self._serve(
+                self.nodes[w], page, from_id, node)
+            if full_top is not None:
+                nbytes = 16 + mach.page_size
+            else:
+                nbytes = 16 + sum(e.nbytes for e in entries)
+            self.traffic.send(nbytes, "diff_rep")
+            node.time += self._hop(nbytes)
+            replies.append((w, entries, full_top, full_applied))
+        self._apply_replies(node, page, m, replies)
+        m.valid = True
+
+    def _serve(self, owner: _MNode, page: int, from_id: int,
+               charge: _MNode):
+        """serve_diff_request replica on the owner, incl. the GC fallback."""
+        m = owner.page(page)
+        if page in owner.masks:
+            self._create_diff(owner, page, m, charge=charge)
+        floor = owner.gc_floor.get(page, 0)
+        cached = owner.diff_cache.get(page, [])
+        if from_id < floor:
+            top = max([m.last_closed] + [e.top for e in cached])
+            return [], top, dict(m.applied)
+        return [e for e in cached if e.top > from_id], None, None
+
+    def _create_diff(self, owner: _MNode, page: int, m: _MPage,
+                     charge: Optional[_MNode]) -> None:
+        mask = owner.masks.pop(page)
+        nbytes = _mask_diff_nbytes(mask)
+        self.stats.diffs_created += 1
+        self.stats.diff_bytes_created += nbytes
+        self._cache_entry(owner, page, m, nbytes)
+        if charge is not None:
+            charge.time += self.machine.diff_create_time(self.machine.page_size)
+
+    def _cache_entry(self, owner: _MNode, page: int, m: _MPage,
+                     nbytes: int) -> None:
+        if not nbytes:
+            return
+        top = m.last_written
+        if page in owner.open_writes:
+            wm = m.last_closed
+            okey = (sum(owner.seen.v) + 1, owner.pid)
+        else:
+            wm = m.last_written
+            okey = m.last_okey if m.last_okey is not None \
+                else (sum(owner.seen.v), owner.pid)
+        lst = owner.diff_cache.setdefault(page, [])
+        if lst and lst[-1].top >= top:
+            prev = lst.pop()
+            lst.append(_CacheEnt(max(prev.top, top), max(prev.wm, wm),
+                                 max(prev.okey, okey),
+                                 prev.nbytes + nbytes, owner.epoch))
+        else:
+            lst.append(_CacheEnt(top, wm, okey, nbytes, owner.epoch))
+
+    def _apply_replies(self, node: _MNode, page: int, m: _MPage,
+                       replies) -> None:
+        base_applied: dict = {}
+        fulls = [(w, ft, fa) for w, _e, ft, fa in replies if ft is not None]
+        if fulls:
+            w, ft, fa = max(fulls, key=lambda t: t[1])
+            base_applied = dict(fa or {})
+            base_applied[w] = max(base_applied.get(w, 0), ft)
+            self.stats.full_page_fetches += 1
+            for ww, ftw, _fa in fulls:
+                m.applied[ww] = max(m.applied.get(ww, 0), ftw,
+                                    m.pending.get(ww, 0))
+        for w, entries, _ft, _fa in replies:
+            for e in entries:
+                if e.top <= base_applied.get(w, 0):
+                    m.applied[w] = max(m.applied.get(w, 0), e.wm)
+                    continue
+                node.time += self.machine.diff_apply_time(e.nbytes)
+                self.stats.diffs_applied += 1
+                self.stats.diff_bytes_applied += e.nbytes
+                m.applied[w] = max(m.applied.get(w, 0), e.wm)
+        for w, _from in m.missing_writers():
+            m.applied[w] = max(m.applied.get(w, 0), m.pending.get(w, 0))
+
+    # ---- interval machinery ---------------------------------------------
+
+    def _close_interval(self, node: _MNode) -> None:
+        if not node.open_writes:
+            return
+        new_id = node.seen[node.pid] + 1
+        node.seen.v[node.pid] = new_id
+        vtsum = sum(node.seen.v)
+        rec = IntervalRecord(proc=node.pid, id=new_id,
+                             pages=tuple(sorted(node.open_writes)),
+                             vtsum=vtsum)
+        okey = (vtsum, node.pid)
+        for page in node.open_writes:
+            m = node.page(page)
+            m.last_okey = okey
+            m.last_closed = new_id
+        node.open_writes = set()
+        node.log_current.append(rec)
+
+    def _prune_log(self, node: _MNode) -> None:
+        node.log_prev = node.log_current
+        node.log_current = []
+
+    def _apply_records(self, node: _MNode, records: list,
+                       log: bool) -> None:
+        self.stats.epoch_bumps += 1
+        writers_per_page: dict[int, set] = {}
+        for rec in records:
+            if not node.seen.observe(rec):
+                continue
+            if log:
+                node.log_current.append(rec)
+            for page in rec.pages:
+                writers_per_page.setdefault(page, set()).add(rec.proc)
+                self._apply_notice(node, rec.proc, rec.id, page)
+        for page, writers in writers_per_page.items():
+            m = node.meta.get(page)
+            if m is None:
+                continue
+            if len(writers) > 1 or (m.last_written > 0
+                                    and writers - {node.pid}):
+                m.sticky = True
+
+    def _apply_notice(self, node: _MNode, writer: int, interval_id: int,
+                      page: int) -> None:
+        if writer == node.pid:
+            return
+        m = node.page(page)
+        if interval_id > m.pending.get(writer, 0):
+            m.pending[writer] = interval_id
+        if interval_id <= m.applied.get(writer, 0):
+            return
+        if page in node.masks:
+            self._create_diff(node, page, m, charge=node)
+        if m.valid:
+            m.valid = False
+            self.stats.invalidations += 1
+
+    def _advance_epoch(self, node: _MNode) -> None:
+        node.epoch += 1
+        if self.gc_epochs is None:
+            return
+        cutoff = node.epoch - self.gc_epochs
+        if cutoff <= 0:
+            return
+        for page, lst in list(node.diff_cache.items()):
+            m = node.meta.get(page)
+            if m is not None and m.sticky:
+                continue
+            kept = [e for e in lst if e.epoch >= cutoff]
+            if len(kept) < len(lst):
+                dropped_top = max(e.top for e in lst if e.epoch < cutoff)
+                node.gc_floor[page] = max(node.gc_floor.get(page, 0),
+                                          dropped_top)
+            if kept:
+                node.diff_cache[page] = kept
+            else:
+                del node.diff_cache[page]
+
+    # ---- synchronization replicas ---------------------------------------
+
+    def _barrier(self) -> None:
+        mach = self.machine
+        arrive = 0.0
+        payloads = {}
+        for node in self.nodes:
+            self.stats.barriers += 1
+            self._close_interval(node)
+            payloads[node.pid] = list(node.log_current)
+            self._prune_log(node)
+        if self.nprocs == 1:
+            self._advance_epoch(self.nodes[0])
+            return
+        mgr = self.barrier_mgr
+        gen = mgr.gen
+        for node in self.nodes:
+            recs = payloads[node.pid]
+            if node.pid != 0:
+                nbytes = 16 + notice_payload_nbytes(
+                    recs, mach.interval_header_bytes, mach.write_notice_bytes)
+                self.traffic.send(nbytes, "sync")
+                arrive = max(arrive, node.time + self._hop(nbytes)
+                             + mach.protocol_overhead)
+            else:
+                arrive = max(arrive, node.time)
+            mgr.note_arrival(node.pid, gen, recs, node.seen.as_tuple())
+        departures = mgr.departures()
+        for node in self.nodes:
+            recs = departures[node.pid]
+            if node.pid != 0:
+                nbytes = 16 + notice_payload_nbytes(
+                    recs, mach.interval_header_bytes, mach.write_notice_bytes)
+                self.traffic.send(nbytes, "sync")
+                node.time = arrive + self._hop(nbytes)
+            else:
+                node.time = arrive
+            self._apply_records(node, recs, log=False)
+            self._advance_epoch(node)
+
+    def _lock_acquire(self, node: _MNode, lock: int) -> None:
+        self.stats.lock_acquires += 1
+        table = self.lock_table
+        mach = self.machine
+        manager = table.manager_of(lock)
+        req_nbytes = 16 + 8 * self.nprocs
+        prev, _after = table.note_request(lock, node.pid)
+        if node.pid == manager:
+            if prev == node.pid:
+                return                      # token never left: no messages
+            self.stats.lock_remote_acquires += 1
+            self.traffic.send(req_nbytes, "sync")     # forward to prev
+            node.time += self._hop(req_nbytes) + mach.protocol_overhead
+            self._grant(node, self.nodes[prev], lock)
+            return
+        self.stats.lock_remote_acquires += 1
+        self.traffic.send(req_nbytes, "sync")         # request to manager
+        node.time += self._hop(req_nbytes) + mach.protocol_overhead
+        if prev == node.pid:
+            self.traffic.send(16, "sync")             # empty grant
+            node.time += self._hop(16)
+            self._apply_records(node, [], log=True)
+        elif prev == manager:
+            self._grant(node, self.nodes[manager], lock)
+        else:
+            self.traffic.send(req_nbytes, "sync")     # manager forwards
+            node.time += self._hop(req_nbytes) + mach.protocol_overhead
+            self._grant(node, self.nodes[prev], lock)
+
+    def _grant(self, node: _MNode, holder: _MNode, lock: int) -> None:
+        mach = self.machine
+        records = records_unknown_to(holder.retained_log, node.seen)
+        nbytes = 16 + notice_payload_nbytes(
+            records, mach.interval_header_bytes, mach.write_notice_bytes)
+        self.traffic.send(nbytes, "sync")
+        node.time += self._hop(nbytes)
+        self._apply_records(node, records, log=True)
+
+    def _lock_release(self, node: _MNode, lock: int) -> None:
+        self._close_interval(node)
+        self.lock_table.note_release(node.pid, lock)
+
+    # ---- fork-join replicas ---------------------------------------------
+
+    def _fork_improved(self, params_nbytes_unused=None) -> list:
+        mach = self.machine
+        master = self.nodes[0]
+        self._close_interval(master)
+        arrivals = []
+        for w in range(1, self.nprocs):
+            records = records_unknown_to(master.retained_log,
+                                         self._worker_seen[w])
+            nbytes = CONTROL_BYTES + notice_payload_nbytes(
+                records, mach.interval_header_bytes, mach.write_notice_bytes)
+            self.traffic.send(nbytes, "sync")
+            master.time += mach.send_overhead
+            arrivals.append((w, records, nbytes))
+            self._worker_seen[w] = master.seen.copy()
+        self._prune_log(master)
+        self._advance_epoch(master)
+        for w, records, nbytes in arrivals:
+            worker = self.nodes[w]
+            worker.time = max(worker.time, master.time
+                              + mach.message_time(nbytes)
+                              + mach.recv_overhead)
+            self._apply_records(worker, records, log=False)
+            self._advance_epoch(worker)
+        return arrivals
+
+    def _join_improved(self) -> None:
+        mach = self.machine
+        master = self.nodes[0]
+        arrivals = []
+        for w in range(1, self.nprocs):
+            worker = self.nodes[w]
+            self._close_interval(worker)
+            records = list(worker.log_current)
+            self._prune_log(worker)
+            nbytes = 16 + notice_payload_nbytes(
+                records, mach.interval_header_bytes, mach.write_notice_bytes)
+            self.traffic.send(nbytes, "sync")
+            worker.time += mach.send_overhead
+            arrivals.append((w, records, worker.seen.copy(),
+                             worker.time + mach.message_time(nbytes)))
+        self._close_interval(master)
+        for w, records, seen, t_arr in arrivals:
+            master.time = max(master.time, t_arr) + mach.recv_overhead
+            self._apply_records(master, records, log=True)
+            self._worker_seen[w] = seen
+
+    def _fork_old(self, sub_id: int, params: tuple) -> None:
+        master = self.nodes[0]
+        self._captured_write(
+            master, CTRL_SUB, (slice(0, 2),),
+            [float(sub_id), float(len(params))])
+        if len(params):
+            self._captured_write(
+                master, CTRL_ARG, (slice(0, len(params)),),
+                np.asarray(params, dtype=np.float64))
+        self._barrier()
+        # workers read the two control pages (page fault each when invalid)
+        nargs = len(params)
+        for node in self.nodes[1:]:
+            self._ensure_region(node, CTRL_SUB, (slice(0, 2),), write=False)
+            self._ensure_region(node, CTRL_ARG,
+                                (slice(0, max(nargs, 1)),), write=False)
+
+    # ---- captured writes (mask maintenance) ------------------------------
+
+    def _region_pages(self, name: str, region):
+        return self.space[name].region_pages(region)
+
+    def _ensure_region(self, node: _MNode, name: str, region,
+                       write: bool) -> None:
+        pages = self._region_pages(name, region)
+        if write:
+            self._ensure_write_pages(node, pages)
+        else:
+            self._ensure_read_pages(node, pages)
+
+    def _snapshot(self, pages) -> dict:
+        out = {}
+        for page in np.asarray(pages).tolist():
+            lo = page * _WORDS_PER_PAGE
+            out[page] = self.words[lo:lo + _WORDS_PER_PAGE].copy()
+        return out
+
+    def _capture(self, node: _MNode, before: dict) -> None:
+        for page, old in before.items():
+            lo = page * _WORDS_PER_PAGE
+            changed = self.words[lo:lo + _WORDS_PER_PAGE] != old
+            mask = node.masks.get(page)
+            if mask is not None:
+                mask |= changed
+
+    def _captured_write(self, node: _MNode, name: str, region,
+                        values) -> None:
+        pages = self._region_pages(name, region)
+        self._ensure_write_pages(node, pages)
+        before = self._snapshot(pages)
+        self.views[name][region] = values
+        self._capture(node, before)
+
+    # ---- program walk ----------------------------------------------------
+
+    def run(self) -> None:
+        master = self.nodes[0]
+        improved = self.exe.options.improved_interface
+        for idx, unit in enumerate(self.exe.units):
+            if unit.mark is not None:
+                self._mark(unit.mark, master.time)
+                continue
+            if unit.seq is not None:
+                self._run_seq(unit.seq)
+                continue
+            for loop in unit.loops:
+                for red in loop.reductions:
+                    self._captured_write(master, REDUCTION_PREFIX + red.name,
+                                         (slice(0, 1),), red.identity)
+            head = unit.loops[0]
+            if improved:
+                self._fork_improved()
+            else:
+                self._fork_old(idx, (float(head.start), float(head.extent)))
+            self._run_unit_loops(unit)
+            if improved:
+                self._join_improved()
+            else:
+                self._barrier()
+        if improved:
+            self._fork_improved()              # fork(STOP): same wire shape
+        else:
+            self._fork_old(STOP, ())
+        self.scalars = self._read_scalars()
+        self._finish = max(node.time for node in self.nodes)
+
+    def _run_seq(self, stmt: SeqBlock) -> None:
+        master = self.nodes[0]
+        for acc in stmt.reads:
+            self._ensure_read_pages(master, self._acc_pages(acc, ("block", 0, 0)))
+        wpages: list = []
+        for acc in stmt.writes:
+            pgs = self._acc_pages(acc, ("block", 0, 0))
+            self._ensure_write_pages(master, pgs)
+            wpages.extend(pgs)
+        before = self._snapshot(wpages)
+        stmt.kernel(self.views)
+        self._capture(master, before)
+        cost = stmt.cost(self.exe.program.params) if callable(stmt.cost) \
+            else float(stmt.cost)
+        if cost:
+            master.time += cost
+
+    def _chunk(self, loop: ParallelLoop, pid: int):
+        if loop.schedule == "cyclic":
+            indices = cyclic_indices(loop.extent, self.nprocs, pid, loop.start)
+            return ("cyclic", indices) if indices.size else None
+        span = loop.extent - loop.start
+        lo, hi = block_range(span, self.nprocs, pid)
+        lo += loop.start
+        hi += loop.start
+        return ("block", lo, hi) if hi > lo else None
+
+    def _acc_pages(self, acc: Access, chunk):
+        handle = self.space[acc.array]
+        if chunk[0] == "cyclic":
+            indices = chunk[1]
+            if acc.irregular:
+                idx = acc.region.footprint(self.views, indices, None)
+                return handle.element_pages(np.asarray(idx))
+            lead = acc.region[0] if acc.region else None
+            if isinstance(lead, Span) and lead.lo_off == 0 and lead.hi_off == 0:
+                row_elems = int(np.prod(handle.shape[1:])) \
+                    if len(handle.shape) > 1 else 1
+                return handle.element_pages(indices * row_elems,
+                                            elem_span=row_elems)
+            region = acc.resolve(int(indices.min()), int(indices.max()) + 1,
+                                 handle.shape)
+            return handle.region_pages(region)
+        lo, hi = chunk[1], chunk[2]
+        if acc.irregular:
+            idx = acc.region.footprint(self.views, lo, hi)
+            return handle.element_pages(np.asarray(idx))
+        return handle.region_pages(acc.resolve(lo, hi, handle.shape))
+
+    def _run_unit_loops(self, unit) -> None:
+        chunks = {(pid, li): self._chunk(loop, pid)
+                  for li, loop in enumerate(unit.loops)
+                  for pid in range(self.nprocs)}
+        # phase A: every processor's read faults (chunk-start behaviour)
+        for node in self.nodes:
+            for li, loop in enumerate(unit.loops):
+                ch = chunks[(node.pid, li)]
+                if ch is None:
+                    continue
+                for acc in _ensure_order(loop.reads, loop.accumulate):
+                    self._ensure_read_pages(node, self._acc_pages(acc, ch))
+        # phase B: write faults + kernel + staging, processor by processor
+        partials_by: dict = {}
+        for node in self.nodes:
+            for li, loop in enumerate(unit.loops):
+                ch = chunks[(node.pid, li)]
+                views = self.views
+                privates = None
+                if loop.accumulate:
+                    views = dict(self.views)
+                    privates = {}
+                    for name in loop.accumulate:
+                        decl = self.exe.program.decl(name)
+                        privates[name] = views[name] = np.zeros(
+                            decl.shape, dtype=decl.dtype)
+                if ch is None:
+                    partials = None
+                    cost = 0.0
+                else:
+                    wpages: list = []
+                    for acc in _ensure_order(loop.writes, loop.accumulate):
+                        pgs = self._acc_pages(acc, ch)
+                        self._ensure_write_pages(node, pgs)
+                        wpages.extend(np.asarray(pgs).tolist())
+                    before = self._snapshot(wpages)
+                    if ch[0] == "cyclic":
+                        indices = ch[1]
+                        partials = loop.kernel(views, indices)
+                        cost = (sum(loop.cost_per_iter(int(i))
+                                    for i in indices)
+                                if callable(loop.cost_per_iter)
+                                else loop.cost_per_iter * indices.size)
+                    else:
+                        lo, hi = ch[1], ch[2]
+                        partials = loop.kernel(views, lo, hi)
+                        cost = loop.chunk_cost(lo, hi)
+                    self._capture(node, before)
+                if cost:
+                    node.time += cost
+                if loop.accumulate:
+                    self._stage_contributions(node, loop, privates)
+                partials_by[(node.pid, li)] = partials
+        # phase C: reduction folds, serialized through the lock chain
+        free_at = 0.0
+        for node in self.nodes:
+            for li, loop in enumerate(unit.loops):
+                if not loop.reductions:
+                    continue
+                partials = partials_by.get((node.pid, li))
+                for red in loop.reductions:
+                    val = (partials or {}).get(red.name, red.identity)
+                    _red, lock_id = self.exe.reductions[red.name]
+                    node.time = max(node.time, free_at)
+                    self._lock_acquire(node, lock_id)
+                    name = REDUCTION_PREFIX + red.name
+                    self._ensure_region(node, name, (slice(0, 1),),
+                                        write=False)
+                    cur = float(self.views[name][0])
+                    self._captured_write(node, name, (slice(0, 1),),
+                                         red.combine(cur, val))
+                    self._lock_release(node, lock_id)
+                    free_at = node.time
+
+    def _stage_contributions(self, node: _MNode, loop: ParallelLoop,
+                             privates: dict) -> None:
+        for name, buf in privates.items():
+            handle = self.space[STAGING_PREFIX + name]
+            flat = buf.reshape(buf.shape[0], -1)
+            touched = np.flatnonzero(np.any(flat != 0, axis=1))
+            key = (loop.name, name)
+            prev = node.prev_touched.get(key)
+            if prev is not None and (len(prev) != len(touched)
+                                     or not np.array_equal(prev, touched)):
+                touched = np.union1d(prev, touched)
+            node.prev_touched[key] = touched
+            if touched.size == 0:
+                continue
+            row_elems = int(np.prod(buf.shape[1:])) if buf.ndim > 1 else 1
+            base = node.pid * buf.shape[0]
+            pages = handle.element_pages((base + touched) * row_elems,
+                                         elem_span=row_elems)
+            self._ensure_write_pages(node, pages)
+            before = self._snapshot(pages)
+            self.views[STAGING_PREFIX + name][node.pid, touched] = buf[touched]
+            self._capture(node, before)
+
+    def _read_scalars(self) -> dict:
+        master = self.nodes[0]
+        out = {}
+        for name in self.exe.reductions:
+            self._ensure_region(master, REDUCTION_PREFIX + name,
+                                (slice(0, 1),), write=False)
+            out[name] = float(self.views[REDUCTION_PREFIX + name][0])
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# the message-passing replica (xhpf / xhpf_ie)
+
+class _XhpfModel(_ModelBase):
+    """Arithmetic replay of the XHPF runtime's communication enumeration.
+
+    A single converged array image stands in for the replicated per-rank
+    copies (owner-computes chunks are disjoint, so running every rank's
+    kernel chunk in turn reproduces the converged values); exchanges,
+    broadcasts and inspector schedules are enumerated with the runtime's own
+    owner/footprint arithmetic and turned into message/byte counts plus a
+    per-rank clock, instead of messages in flight.
+    """
+
+    def __init__(self, program, nprocs: int, machine: MachineModel,
+                 options: XhpfOptions):
+        super().__init__()
+        self.machine = machine
+        self.nprocs = nprocs
+        self.options = options
+        self.exe = compile_xhpf(program, nprocs, options)
+        self.packet = (machine.mp_packet_bytes
+                       if options.segment_transfers else None)
+        self.views = {a.name: np.zeros(a.shape, dtype=a.dtype)
+                      for a in program.arrays}
+        self.state = {a.name: True for a in program.arrays}
+        self.caches: list[set] = [set() for _ in range(nprocs)]
+        self.times = np.zeros(nprocs)
+
+    # ---- bookkeeping helpers ---------------------------------------------
+
+    def _count_edges(self, edges: int, nbytes: int,
+                     category: str = "data") -> None:
+        """``edges`` identical sends of ``nbytes`` each (bulk counting)."""
+        seg = _seg_count(nbytes, self.packet)
+        tr = self.traffic
+        tr.messages += edges * seg
+        tr.bytes += edges * nbytes
+        cell = tr.by_category.setdefault(category, [0, 0])
+        cell[0] += edges * seg
+        cell[1] += edges * nbytes
+
+    def _phase(self, edges: list) -> None:
+        """Count a point-to-point phase [(src, dst, nbytes, category)] and
+        advance the per-rank clock: sends overlap, receivers drain their
+        inbound bytes after the slowest sender."""
+        if not edges:
+            return
+        mach, n = self.machine, self.nprocs
+        sm = np.zeros(n)
+        rm = np.zeros(n)
+        rb = np.zeros(n)
+        for src, dst, nbytes, cat in edges:
+            seg = _seg_count(nbytes, self.packet)
+            self.traffic.send(nbytes, cat, count=seg)
+            sm[src] += seg
+            rm[dst] += seg
+            rb[dst] += nbytes
+        self.times += sm * mach.send_overhead
+        peak = float(self.times.max())
+        hot = rm > 0
+        self.times[hot] = (np.maximum(self.times[hot], peak + mach.latency)
+                           + rb[hot] * mach.byte_time
+                           + rm[hot] * mach.recv_overhead)
+
+    def _sync_clock(self, round_nbytes: list) -> None:
+        """Tree-collective clock: all ranks meet, then pay depth x hop."""
+        mach = self.machine
+        peak = float(self.times.max())
+        depth = _tree_depth(self.nprocs)
+        for nbytes in round_nbytes:
+            peak += depth * (mach.send_overhead + mach.message_time(nbytes)
+                             + mach.recv_overhead)
+        self.times[:] = peak
+
+    @staticmethod
+    def _row_span(rows) -> tuple:
+        return (rows, rows + 1) if isinstance(rows, int) \
+            else (rows.start, rows.stop)
+
+    def _rect_row_nbytes(self, rect, decl) -> int:
+        elems = 1
+        for d, r in enumerate(rect[1:], start=1):
+            elems *= 1 if isinstance(r, int) \
+                else len(range(*r.indices(decl.shape[d])))
+        return elems * np.dtype(decl.dtype).itemsize
+
+    # ---- program walk ----------------------------------------------------
+
+    def run(self) -> None:
+        for stmt in self.exe.schedule:
+            if isinstance(stmt, Mark):
+                self._mark(stmt.label, float(self.times.max()))
+            elif isinstance(stmt, SeqBlock):
+                self._run_seq(stmt)
+            else:
+                self._run_loop(stmt)
+        self._finish = float(self.times.max())
+
+    def _run_seq(self, stmt: SeqBlock) -> None:
+        for acc in stmt.reads:
+            self._broadcast_region(acc)
+        stmt.kernel(self.views)
+        cost = stmt.cost(self.exe.program.params) if callable(stmt.cost) \
+            else float(stmt.cost)
+        if cost:
+            self.times += cost        # redundant SPMD execution
+
+    def _broadcast_region(self, acc: Access) -> None:
+        exe, n = self.exe, self.nprocs
+        decl = exe.decls[acc.array]
+        if decl.distribute is None or acc.irregular:
+            return
+        region = acc.resolve(0, 0, decl.shape)
+        row_lo, row_hi = self._row_span(region[0])
+        row_nbytes = self._rect_row_nbytes(region, decl)
+        if decl.dist_kind == "cyclic":
+            if row_hi != row_lo + 1:
+                raise NotImplementedError("multi-row sequential reads of "
+                                          "CYCLIC arrays")
+            nbytes = row_nbytes
+            self._count_edges(n - 1, nbytes)
+            self._sync_clock([nbytes])
+            return
+        first = block_owner(decl.shape[0], n, max(0, row_lo))
+        last = block_owner(decl.shape[0], n, min(decl.shape[0], row_hi) - 1)
+        for owner in range(first, last + 1):
+            olo, ohi = exe.owned_rows(decl, owner)
+            lo, hi = max(row_lo, olo), min(row_hi, ohi)
+            if hi <= lo:
+                continue
+            nbytes = (hi - lo) * row_nbytes
+            self._count_edges(n - 1, nbytes)
+            self._sync_clock([nbytes])
+
+    def _run_loop(self, loop: ParallelLoop) -> None:
+        exe, n = self.exe, self.nprocs
+        if loop.irregular:
+            if self.options.inspector_executor:
+                self._run_irregular_inspector(loop)
+            else:
+                self._run_irregular_loop(loop)
+            return
+        for acc in loop.writes:
+            if exe.decls[acc.array].distribute is not None:
+                self.state[acc.array] = False
+        chunks = [exe.chunk_bounds(loop, p) for p in range(n)]
+        partials_by: dict = {}
+        if isinstance(chunks[0], np.ndarray):
+            self._exchange_cyclic(loop)
+            for p, idx in enumerate(chunks):
+                if idx.size:
+                    partials_by[p] = loop.kernel(self.views, idx)
+                    cost = (sum(loop.cost_per_iter(int(i)) for i in idx)
+                            if callable(loop.cost_per_iter)
+                            else loop.cost_per_iter * idx.size)
+                else:
+                    partials_by[p] = None
+                    cost = 0.0
+                if cost:
+                    self.times[p] += cost
+        else:
+            self._exchange_block(loop, chunks)
+            for p, (lo, hi) in enumerate(chunks):
+                if hi > lo:
+                    partials_by[p] = loop.kernel(self.views, lo, hi)
+                    cost = loop.chunk_cost(lo, hi)
+                else:
+                    partials_by[p] = None
+                    cost = 0.0
+                if cost:
+                    self.times[p] += cost
+        self._fold_reductions(loop, partials_by)
+
+    def _exchange_block(self, loop: ParallelLoop, chunks: list) -> None:
+        exe, n = self.exe, self.nprocs
+        edges: list = []
+        for acc in loop.reads:
+            decl = exe.decls[acc.array]
+            if decl.distribute is None:
+                continue
+            for receiver in range(n):
+                rlo, rhi = chunks[receiver]
+                if rhi <= rlo:
+                    continue
+                rect = acc.resolve(rlo, rhi, decl.shape)
+                need_lo, need_hi = self._row_span(rect[0])
+                if need_hi <= need_lo:
+                    continue
+                row_nbytes = self._rect_row_nbytes(rect, decl)
+                if decl.dist_kind == "cyclic":
+                    counts = np.bincount(
+                        np.arange(need_lo, need_hi, dtype=np.int64) % n,
+                        minlength=n)
+                    for owner in np.flatnonzero(counts).tolist():
+                        if owner == receiver:
+                            continue
+                        edges.append((owner, receiver,
+                                      int(counts[owner]) * row_nbytes,
+                                      "data"))
+                else:
+                    first = block_owner(decl.shape[0], n, max(0, need_lo))
+                    last = block_owner(decl.shape[0], n,
+                                       min(decl.shape[0], need_hi) - 1)
+                    for owner in range(first, last + 1):
+                        if owner == receiver:
+                            continue
+                        olo, ohi = exe.owned_rows(decl, owner)
+                        lo, hi = max(need_lo, olo), min(need_hi, ohi)
+                        if hi <= lo:
+                            continue
+                        edges.append((owner, receiver,
+                                      (hi - lo) * row_nbytes, "data"))
+        self._phase(edges)
+
+    def _exchange_cyclic(self, loop: ParallelLoop) -> None:
+        for acc in loop.reads:
+            decl = self.exe.decls[acc.array]
+            if decl.distribute is None:
+                continue
+            lead = acc.region[0] if acc.region else None
+            if isinstance(lead, Point):
+                self._broadcast_region(
+                    Access(acc.array, (lead,) + tuple(acc.region[1:])))
+
+    # ---- irregular loops -------------------------------------------------
+
+    def _run_irregular_loop(self, loop: ParallelLoop) -> None:
+        exe, n = self.exe, self.nprocs
+        for acc in loop.reads:
+            decl = exe.decls[acc.array]
+            if decl.distribute is None or self.state.get(acc.array, True):
+                continue
+            self._broadcast_partitions(decl)
+            self.state[acc.array] = True
+        for name in loop.accumulate:
+            self.views[name][...] = 0
+        partials_by = self._run_chunks(loop)
+        for name in loop.accumulate:
+            nbytes = int(self.views[name].nbytes)
+            self._count_edges(n * (n - 1), nbytes)
+            seg = _seg_count(nbytes, self.packet)
+            mach = self.machine
+            peak = float(self.times.max())
+            self.times[:] = (peak + (n - 1) * mach.send_overhead
+                             + mach.latency
+                             + (n - 1) * nbytes * mach.byte_time
+                             + (n - 1) * seg * mach.recv_overhead)
+            self.state[name] = True
+        for acc in loop.writes:
+            decl = exe.decls[acc.array]
+            if decl.distribute is None or acc.array in loop.accumulate:
+                continue
+            self._broadcast_partitions(decl)
+            self.state[acc.array] = True
+        self._fold_reductions(loop, partials_by)
+
+    def _run_chunks(self, loop: ParallelLoop) -> dict:
+        """Every rank's kernel chunk, run in turn over the converged image."""
+        partials_by: dict = {}
+        for p in range(self.nprocs):
+            chunk = self.exe.chunk_bounds(loop, p)
+            if isinstance(chunk, np.ndarray):
+                count = chunk.size
+                partials_by[p] = loop.kernel(self.views, chunk) \
+                    if count else None
+                cost = (sum(loop.cost_per_iter(int(i)) for i in chunk)
+                        if callable(loop.cost_per_iter)
+                        else loop.cost_per_iter * count)
+            else:
+                lo, hi = chunk
+                count = max(0, hi - lo)
+                partials_by[p] = loop.kernel(self.views, lo, hi) \
+                    if count else None
+                cost = loop.chunk_cost(lo, hi) if count else 0.0
+            if cost:
+                self.times[p] += cost
+        return partials_by
+
+    def _broadcast_partitions(self, decl) -> None:
+        exe, n, mach = self.exe, self.nprocs, self.machine
+        part_nbytes = []
+        total = 0
+        for p in range(n):
+            olo, ohi = exe.owned_rows(decl, p)
+            nbytes = int(self.views[decl.name][olo:ohi].nbytes)
+            part_nbytes.append(nbytes)
+            total += nbytes
+            self._count_edges(n - 1, nbytes)
+        self.times += (n - 1) * mach.send_overhead
+        peak = float(self.times.max())
+        recv_b = np.array([total - nb for nb in part_nbytes], dtype=float)
+        self.times[:] = (peak + mach.latency + recv_b * mach.byte_time
+                         + (n - 1) * mach.recv_overhead)
+
+    def _run_irregular_inspector(self, loop: ParallelLoop) -> None:
+        from repro.compiler.inspector import (footprint_fingerprint,
+                                              inspect_reads)
+        exe, n = self.exe, self.nprocs
+        irr_reads = [acc for acc in loop.reads
+                     if acc.irregular and acc.array not in loop.accumulate]
+        if len(irr_reads) != 1:
+            raise NotImplementedError("inspector-executor expects one "
+                                      "irregular read stream per loop")
+        acc = irr_reads[0]
+        decl = exe.decls[acc.array]
+        row_elems = int(np.prod(decl.shape[1:])) if len(decl.shape) > 1 else 1
+        row_nbytes = row_elems * np.dtype(decl.dtype).itemsize
+        owner_bounds = [exe.owned_rows(decl, p) for p in range(n)]
+        bounds = [exe.chunk_bounds(loop, p) for p in range(n)]
+
+        recv_rows: list[dict] = []
+        ret_rows: list[dict] = []
+        misses: list[int] = []
+        for p in range(n):
+            lo, hi = bounds[p]
+            flat = acc.region.footprint(self.views, lo, hi) if hi > lo \
+                else np.empty(0, np.int64)
+            fp = footprint_fingerprint(flat)
+            rr = inspect_reads(flat, row_elems, (lo, hi), owner_bounds)
+            recv_rows.append(rr)
+            ret_rows.append(dict(rr) if loop.accumulate else {})
+            key = (loop.name, fp)
+            if key not in self.caches[p]:
+                self.caches[p].add(key)
+                misses.append(p)
+                self.times[p] += (self.options.inspect_cost_per_element
+                                  * max(len(flat), 1))
+        sched_edges = []
+        for p in misses:
+            for peer in range(n):
+                if peer == p:
+                    continue
+                want = recv_rows[p].get(peer, np.empty(0, np.int64))
+                give = ret_rows[p].get(peer, np.empty(0, np.int64))
+                sched_edges.append((p, peer,
+                                    int(want.nbytes) + int(give.nbytes) + 8,
+                                    "sync"))
+        self._phase(sched_edges)
+
+        # executor: scheduled gather of referenced rows
+        gather_edges = []
+        for p in range(n):
+            for peer, rows in sorted(recv_rows[p].items()):
+                if len(rows):
+                    gather_edges.append((peer, p,
+                                         len(rows) * row_nbytes, "data"))
+        self._phase(gather_edges)
+
+        for name in loop.accumulate:
+            self.views[name][...] = 0
+        partials_by = self._run_chunks(loop)
+
+        # scheduled return of accumulation contributions
+        for name in loop.accumulate:
+            buf = self.views[name]
+            acc_row_nbytes = int(buf.nbytes) // buf.shape[0] \
+                if buf.shape[0] else 0
+            return_edges = []
+            for p in range(n):
+                for peer, rows in sorted(ret_rows[p].items()):
+                    if len(rows):
+                        return_edges.append((p, peer,
+                                             len(rows) * acc_row_nbytes,
+                                             "data"))
+            self._phase(return_edges)
+            self.state[name] = False
+        for acc_w in loop.writes:
+            wdecl = exe.decls.get(acc_w.array)
+            if wdecl is not None and wdecl.distribute is not None:
+                self.state[acc_w.array] = False
+        self._fold_reductions(loop, partials_by)
+
+    # ---- reductions ------------------------------------------------------
+
+    def _fold_reductions(self, loop: ParallelLoop, partials_by: dict) -> None:
+        n = self.nprocs
+        for red in loop.reductions:
+            total = red.identity
+            for p in range(n):
+                val = (partials_by.get(p) or {}).get(red.name, red.identity)
+                total = red.combine(total, val)
+            self.scalars[red.name] = total
+            if n > 1:
+                self._count_edges(2 * (n - 1), 8)
+                self._sync_clock([8, 8])

@@ -61,15 +61,19 @@ class VariantResult:
                                  # ``python -m repro bench``
     retransmissions: int = 0     # reliable-delivery re-sends (fault runs)
     fault_stats: Optional[object] = None   # FaultStats when faults attached
+    mode: str = "sim"            # "sim" (event simulation) or "model"
+                                 # (analytic prediction, repro.compiler.model)
 
     @property
     def speedup(self) -> float:
         return self.seq_time / self.time if self.time > 0 else float("inf")
 
     def row(self) -> str:
+        badge = " [model]" if self.mode == "model" else ""
         return (f"{self.app:8s} {self.variant:8s} n={self.nprocs} "
                 f"time={self.time:10.4f}s speedup={self.speedup:5.2f} "
-                f"msgs={self.messages:8d} data={self.kilobytes:10.1f}KB")
+                f"msgs={self.messages:8d} data={self.kilobytes:10.1f}KB"
+                f"{badge}")
 
 
 def _seq_result(spec: AppSpec, params: dict, preset: str) -> VariantResult:

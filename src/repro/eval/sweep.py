@@ -1,0 +1,115 @@
+"""Extended scaling sweep: the analytic model at 16-1024 nodes.
+
+The paper's evaluation stops at the 8-node SP/2.  The sweep composes the
+validated analytic model (:mod:`repro.compiler.model`) at N well past what
+the event simulator can schedule, and emits the extended speedup/traffic
+tables plus a JSON artifact.  Every number it reports is *modeled*, never
+simulated: rows carry ``mode: "model"`` and the tables badge it, so these
+extrapolations can never be confused with simulated DsmStats (the
+validate-small / trust-large protocol of docs/MODEL.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional
+
+from repro.apps.common import get_app
+from repro.compiler.model import model_variant
+from repro.compiler.seq import sequential_time
+from repro.eval.constants import APPS
+from repro.sim.machine import SP2_MODEL, MachineModel
+
+__all__ = ["SWEEP_SCHEMA", "DEFAULT_NODES", "DEFAULT_SWEEP_VARIANTS",
+           "run_sweep", "format_sweep_tables"]
+
+SWEEP_SCHEMA = "repro-sweep/1"
+DEFAULT_NODES = (8, 16, 64, 256, 1024)
+DEFAULT_SWEEP_VARIANTS = ("spf", "spf_old", "xhpf", "xhpf_ie")
+
+
+def run_sweep(apps: Optional[list] = None,
+              variants: Optional[list] = None,
+              nodes: tuple = DEFAULT_NODES,
+              preset: str = "test",
+              machine: Optional[MachineModel] = None,
+              gc_epochs: Optional[int] = 8,
+              progress=None) -> dict:
+    """Model every (app, variant, N) combination; returns the JSON doc.
+
+    The document is schema-stable (``tests/test_sweep_schema.py`` pins it):
+
+    * ``schema`` — ``"repro-sweep/1"``
+    * ``preset``, ``machine`` (full parameter set), ``nodes``, ``variants``
+    * ``apps[app]`` — ``seq_time`` plus per-variant lists of per-N rows,
+      each row carrying ``mode: "model"``.
+    """
+    apps = list(apps or APPS)
+    variants = list(variants or DEFAULT_SWEEP_VARIANTS)
+    mach = machine or SP2_MODEL
+    doc = {
+        "schema": SWEEP_SCHEMA,
+        "preset": preset,
+        "machine": asdict(mach),
+        "nodes": [int(n) for n in nodes],
+        "variants": variants,
+        "apps": {},
+    }
+    for app in apps:
+        spec = get_app(app)
+        seq_time = sequential_time(spec.build_program(spec.params(preset)))
+        entry: dict = {"seq_time": seq_time, "variants": {}}
+        for variant in variants:
+            rows = []
+            for n in nodes:
+                if progress:
+                    progress(f"model {app} {variant} n={n}")
+                res = model_variant(app, variant, nprocs=int(n),
+                                    preset=preset, machine=mach,
+                                    seq_time=seq_time, gc_epochs=gc_epochs)
+                rows.append({
+                    "nprocs": int(n),
+                    "mode": res.mode,
+                    "time": res.time,
+                    "speedup": res.speedup,
+                    "messages": res.messages,
+                    "kilobytes": res.kilobytes,
+                    "total_messages": res.total_messages,
+                    "total_kilobytes": res.total_kilobytes,
+                })
+            entry["variants"][variant] = rows
+        doc["apps"][app] = entry
+    return doc
+
+
+def _table(title: str, variants: list, nodes: list, cell) -> str:
+    width = 11
+    lines = [f"  {title}"]
+    lines.append("  " + f"{'':10s}"
+                 + "".join(f"{'n=' + str(n):>{width}s}" for n in nodes))
+    for variant in variants:
+        row = f"  {variant:10s}"
+        for i, _n in enumerate(nodes):
+            row += f"{cell(variant, i):>{width}s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_sweep_tables(doc: dict) -> str:
+    """Speedup, message and data tables per application, model-badged."""
+    nodes = doc["nodes"]
+    variants = doc["variants"]
+    out = []
+    for app, entry in doc["apps"].items():
+        rows = entry["variants"]
+        out.append(f"{app} — extended scaling [model] "
+                   f"(preset {doc['preset']!r}, analytic predictions, "
+                   f"not simulated)")
+        out.append(_table("speedup", variants, nodes,
+                          lambda v, i: f"{rows[v][i]['speedup']:.2f}"))
+        out.append(_table("messages", variants, nodes,
+                          lambda v, i: f"{rows[v][i]['messages']:d}"))
+        out.append(_table("data (KB)", variants, nodes,
+                          lambda v, i: f"{rows[v][i]['kilobytes']:.1f}"))
+        out.append("")
+    return "\n".join(out).rstrip()

@@ -1,0 +1,67 @@
+"""Golden-file test: the `repro sweep` JSON document is schema-stable.
+
+Downstream tooling (the CI artifact, report assembly) keys on this
+document's shape.  The golden file pins both the *structure* (keys and
+value types, checked shape-normalized) and the *values* for a small
+sweep — the model is deterministic, so any drift is a real change and
+must be made deliberately by regenerating the golden alongside a schema
+bump.  Every result row must carry ``mode: "model"`` so extrapolated
+numbers can never be mistaken for simulated DsmStats.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.sweep import SWEEP_SCHEMA, run_sweep
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "sweep_schema_golden.json")
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_sweep(apps=["jacobi"], variants=["spf", "xhpf"],
+                     nodes=(8, 16))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN) as fh:
+        return json.load(fh)
+
+
+def _shape(value):
+    """Replace leaves with their type names, recursively."""
+    if isinstance(value, dict):
+        return {k: _shape(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_shape(v) for v in value]
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    return type(value).__name__
+
+
+def test_schema_tag(doc, golden):
+    assert doc["schema"] == SWEEP_SCHEMA == golden["schema"]
+
+
+def test_shape_matches_golden(doc, golden):
+    assert _shape(doc) == _shape(golden)
+
+
+def test_values_match_golden(doc, golden):
+    # JSON round-trip normalizes tuples/ints the same way run_sweep does.
+    assert json.loads(json.dumps(doc, sort_keys=True)) == golden
+
+
+def test_every_row_is_flagged_modeled(doc):
+    rows = [row
+            for entry in doc["apps"].values()
+            for variant_rows in entry["variants"].values()
+            for row in variant_rows]
+    assert rows
+    assert all(row["mode"] == "model" for row in rows)
