@@ -22,17 +22,30 @@ The package provides:
 
 Quick start::
 
-    from repro import run_variant
-    print(run_variant("jacobi", "tmk", nprocs=8, preset="bench").row())
+    from repro.api import RunRequest, run
+    print(run(RunRequest("jacobi", "tmk", nprocs=8, preset="bench")).row())
+
+Batches go through the persistent worker pool::
+
+    from repro.serve import RunService
+    with RunService(workers=4) as svc:
+        batch = svc.run_batch([RunRequest("jacobi", "spf"), ...])
+
+(``run_variant`` remains as a deprecated shim over the same API.)
 """
 
+from repro.api import BatchResult, RunRequest, RunResult, run
 from repro.eval.experiments import run_all_variants, run_variant
 from repro.sim import Cluster, MachineModel, SP2_MODEL
 from repro.tmk import Tmk, tmk_run
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "RunRequest",
+    "RunResult",
+    "BatchResult",
+    "run",
     "run_variant",
     "run_all_variants",
     "Cluster",

@@ -1,0 +1,72 @@
+"""``repro.api`` — the unified, typed run API.
+
+The one surface between "what to run" and "how it ran":
+
+* :class:`RunRequest` / :class:`RunResult` / :class:`BatchResult` —
+  frozen, serializable (``repro-run/1``) value types
+  (:mod:`repro.api.types`),
+* :func:`execute` / :func:`run` and :class:`ProgramCache` — the single
+  execution path with compiled-program caching
+  (:mod:`repro.api.execute`),
+* :mod:`repro.api.registry` — the consolidated app/variant registry the
+  CLI, harnesses and validators all share.
+
+Quick start::
+
+    from repro.api import RunRequest, run
+    print(run(RunRequest("jacobi", "spf", nprocs=8, preset="test")).row())
+
+For batches, prefer the worker-pool service (:mod:`repro.serve`)::
+
+    from repro.api import RunRequest
+    from repro.serve import RunService
+    with RunService(workers=4) as svc:
+        batch = svc.run_batch([RunRequest("jacobi", "spf", preset="test"),
+                               RunRequest("igrid", "spf", preset="test")])
+
+See ``docs/API.md`` for the full type and wire-protocol reference.
+"""
+
+from repro.api import registry
+from repro.api.execute import (ProgramCache, execute, run,
+                               run_batch_inprocess)
+from repro.api.registry import (APPS, BENCH_MATRIX, DSM_VARIANTS,
+                                FIGURE_VARIANTS, IRREGULAR_APPS,
+                                MODELED_VARIANTS, MP_VARIANTS, PRESETS,
+                                RACECHECK_VARIANTS, REGULAR_APPS, VARIANTS,
+                                AppInfo, VariantInfo)
+from repro.api.types import (RUN_SCHEMA, BatchResult, RunRequest, RunResult,
+                             dsm_stats_from_doc, dsm_stats_to_doc,
+                             fault_plan_from_doc, fault_plan_to_doc,
+                             machine_from_doc, machine_to_doc)
+
+__all__ = [
+    "RUN_SCHEMA",
+    "RunRequest",
+    "RunResult",
+    "BatchResult",
+    "ProgramCache",
+    "execute",
+    "run",
+    "run_batch_inprocess",
+    "registry",
+    "APPS",
+    "REGULAR_APPS",
+    "IRREGULAR_APPS",
+    "VARIANTS",
+    "DSM_VARIANTS",
+    "MP_VARIANTS",
+    "MODELED_VARIANTS",
+    "FIGURE_VARIANTS",
+    "RACECHECK_VARIANTS",
+    "PRESETS",
+    "BENCH_MATRIX",
+    "AppInfo",
+    "VariantInfo",
+    "dsm_stats_to_doc",
+    "dsm_stats_from_doc",
+    "fault_plan_to_doc",
+    "fault_plan_from_doc",
+    "machine_to_doc",
+    "machine_from_doc",
+]

@@ -56,14 +56,9 @@ DEFAULT_RESULT_PATH = os.path.join("benchmarks", "results",
 DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "results",
                                      "BENCH_baseline.json")
 
-# (name, app, variant)
-BENCH_KERNELS: tuple = (
-    ("jacobi_spf", "jacobi", "spf"),
-    ("jacobi_tmk", "jacobi", "tmk"),
-    ("shallow_spf_opt", "shallow", "spf_opt"),
-    ("igrid_spf", "igrid", "spf"),
-    ("fft3d_tmk", "fft3d", "tmk"),
-)
+# (name, app, variant) — the canonical 5-kernel matrix lives in the
+# registry so the throughput harness and this gate time the same workloads
+from repro.api.registry import BENCH_MATRIX as BENCH_KERNELS  # noqa: E402
 
 _CALIBRATION_EVENTS = 40_000
 
@@ -95,12 +90,14 @@ def calibrate() -> float:
 
 
 def _time_kernel(app: str, variant: str, nprocs: int, preset: str) -> dict:
-    from repro.eval.experiments import run_variant
+    from repro.api.execute import execute
+    from repro.api.types import RunRequest
 
     t0 = time.perf_counter()
-    res = run_variant(app, variant, nprocs=nprocs, preset=preset,
-                      seq_time=1.0)   # skip the sequential oracle: wall-
-    wall = time.perf_counter() - t0   # clock here times the simulator only
+    res = execute(RunRequest(app=app, variant=variant, nprocs=nprocs,
+                             preset=preset,
+                             seq_time=1.0))  # skip the sequential oracle:
+    wall = time.perf_counter() - t0          # wall-clock times the sim only
     out = {
         "app": app,
         "variant": variant,

@@ -10,7 +10,13 @@ Commands
 ``racecheck APP VARIANT``  fuzz schedules + happens-before race detection
 ``chaos``                sweep fault seeds; assert numerics vs fault-free
 ``bench``                time simulator kernels in wall-clock seconds
+``serve``                persistent worker-pool run service (JSON lines)
 ``list``                 list applications, variants and presets
+
+Every command that runs programs goes through the unified
+:mod:`repro.api` — it builds :class:`~repro.api.RunRequest` values and
+executes them in-process or through the :mod:`repro.serve` pool; the
+app/variant argument choices come from :mod:`repro.api.registry`.
 
 Examples::
 
@@ -22,6 +28,8 @@ Examples::
     python -m repro racecheck igrid spf --seeds 5
     python -m repro chaos --seeds 3 --apps jacobi mgs --out chaos.json
     python -m repro bench --smoke
+    python -m repro bench --throughput --workers 4
+    python -m repro serve --port 7590 --workers 4
     python -m repro figures
 """
 
@@ -30,9 +38,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps.common import APP_REGISTRY, get_app
-from repro.eval.constants import APPS, IRREGULAR_APPS, PAPER, REGULAR_APPS
-from repro.eval.experiments import VARIANTS, run_all_variants, run_variant
+from repro.api.execute import execute
+from repro.api.registry import (APPS, IRREGULAR_APPS, PAPER, PRESETS,
+                                RACECHECK_VARIANTS, REGULAR_APPS, VARIANTS)
+from repro.api.types import RunRequest, machine_from_doc
+from repro.apps.common import get_app
+from repro.eval.experiments import run_all_variants
 from repro.eval.tables import format_speedup_figure, format_traffic_table
 
 __all__ = ["main"]
@@ -42,12 +53,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-n", "--nprocs", type=int, default=8,
                         help="simulated processors (default 8, the paper's)")
     parser.add_argument("--preset", default="bench",
-                        choices=["paper", "bench", "test"],
+                        choices=list(PRESETS),
                         help="problem size preset (default bench)")
 
 
 def _parse_machine(pairs):
-    """``KEY=VALUE`` overrides of SP2_MODEL fields -> MachineModel."""
+    """``KEY=VALUE`` pairs -> machine-override dict (RunRequest form)."""
     from dataclasses import fields
 
     from repro.sim.machine import SP2_MODEL
@@ -65,27 +76,24 @@ def _parse_machine(pairs):
                 f"KEY one of {', '.join(sorted(types))})")
         cast = types[key]
         overrides[key] = cast(float(val)) if cast is int else cast(val)
-    return SP2_MODEL.with_(**overrides)
+    return overrides
 
 
 def cmd_run(args) -> int:
-    if args.mode == "model":
-        from repro.compiler.model import (MODELED_VARIANTS,
-                                          ModelUnsupportedVariant,
-                                          model_variant)
-        try:
-            res = model_variant(args.app, args.variant, nprocs=args.nprocs,
-                                preset=args.preset,
-                                machine=_parse_machine(args.machine))
-        except ModelUnsupportedVariant:
-            print(f"variant {args.variant!r} has no analytic model "
-                  f"(modeled variants: {', '.join(MODELED_VARIANTS)}); "
-                  f"use --mode sim", file=sys.stderr)
-            return 2
-    else:
-        res = run_variant(args.app, args.variant, nprocs=args.nprocs,
-                          preset=args.preset,
-                          model=_parse_machine(args.machine))
+    from repro.compiler.model import ModelUnsupportedVariant
+
+    request = RunRequest(app=args.app, variant=args.variant,
+                         nprocs=args.nprocs, preset=args.preset,
+                         mode=args.mode,
+                         machine=_parse_machine(args.machine))
+    try:
+        res = execute(request)
+    except ModelUnsupportedVariant:
+        from repro.api.registry import MODELED_VARIANTS
+        print(f"variant {args.variant!r} has no analytic model "
+              f"(modeled variants: {', '.join(MODELED_VARIANTS)}); "
+              f"use --mode sim", file=sys.stderr)
+        return 2
     print(res.row())
     if res.dsm is not None:
         print("dsm:", res.dsm.summary())
@@ -141,7 +149,7 @@ def cmd_sweep(args) -> int:
 
     doc = run_sweep(apps=args.apps or None, variants=args.variants or None,
                     nodes=tuple(args.nodes), preset=args.preset,
-                    machine=_parse_machine(args.machine),
+                    machine=machine_from_doc(_parse_machine(args.machine)),
                     progress=(None if args.quiet else
                               lambda m: print(m, file=sys.stderr)))
     print(format_sweep_tables(doc))
@@ -260,6 +268,8 @@ def cmd_bench(args) -> int:
     from repro.bench import check_regression, load_baseline, run_bench
     from repro.bench.wallclock import write_results
 
+    if args.throughput:
+        return _bench_throughput(args)
     doc = run_bench(smoke=args.smoke, nprocs=args.nprocs,
                     only=args.only or None, progress=print)
     path = write_results(doc, args.out) if args.out \
@@ -287,14 +297,68 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _bench_throughput(args) -> int:
+    """``repro bench --throughput``: pool runs/min vs serial, SLO-gated."""
+    from repro.bench.throughput import run_throughput, write_results
+
+    doc = run_throughput(workers=args.workers, repeats=args.repeats,
+                         nprocs=args.nprocs,
+                         preset="test" if args.smoke else "bench",
+                         slo=args.slo, progress=print)
+    path = write_results(doc, args.out) if args.out else write_results(doc)
+    print(f"serial:  {doc['serial']['runs_per_min']:8.1f} runs/min "
+          f"({doc['serial']['wall_s']:.2f}s for {doc['runs']} run(s))")
+    print(f"service: {doc['service']['runs_per_min']:8.1f} runs/min "
+          f"({doc['service']['wall_s']:.2f}s, {doc['workers']} worker(s), "
+          f"{doc['service']['cache_hits']} cache hit(s))")
+    print(f"speedup: {doc['speedup']:.2f}x serial "
+          f"(calibrated SLO {doc['slo']:.2f}x on {doc['cpu_count']} "
+          f"core(s)); bit-identical: {doc['bit_identical']}")
+    print(f"results -> {path}")
+    if args.no_gate:
+        return 0
+    for failure in doc["failures"]:
+        print("THROUGHPUT:", failure, file=sys.stderr)
+    return 1 if doc["failures"] else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import (DEFAULT_RUNNER, RunService, WireServer,
+                             serve_stdio)
+
+    service = RunService(workers=args.workers,
+                         runner=args.runner or DEFAULT_RUNNER,
+                         cache_entries=args.cache_entries)
+    try:
+        if args.port is None:
+            verdict = serve_stdio(service, sys.stdin, sys.stdout)
+            print(f"serve: session ended ({verdict})", file=sys.stderr)
+        else:
+            server = WireServer(service, host=args.host, port=args.port)
+            print(f"serve: listening on {server.host}:{server.port} "
+                  f"({args.workers} worker(s))", file=sys.stderr)
+            try:
+                server.serve_forever()
+            finally:
+                server._tcp.server_close()
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_list(_args) -> int:
+    from repro.api import registry
+
     print("applications:")
-    for app in APPS:
-        spec = APP_REGISTRY[app]
-        kind = "regular" if spec.regular else "irregular"
-        print(f"  {app:8s} {kind:10s} {PAPER[app].problem_size:35s} "
-              f"presets: {', '.join(sorted(spec.presets))}")
-    print(f"variants: {', '.join(VARIANTS)}")
+    for card in registry.apps():
+        print(f"  {card.name:8s} {card.kind:10s} "
+              f"{card.problem_size:35s} "
+              f"presets: {', '.join(card.presets)}")
+    print("variants:")
+    for info in registry.variants():
+        badge = " [model]" if info.modeled else ""
+        print(f"  {info.name:8s} {info.kind:4s} {info.source:9s} "
+              f"{info.description}{badge}")
     return 0
 
 
@@ -344,7 +408,7 @@ def main(argv=None) -> int:
                    default=[8, 16, 64, 256, 1024],
                    help="node counts to model (default: 8 16 64 256 1024)")
     p.add_argument("--preset", default="test",
-                   choices=["paper", "bench", "test"],
+                   choices=list(PRESETS),
                    help="problem size preset (default test; the model is "
                         "validated against the simulator at this size)")
     p.add_argument("--machine", nargs="*", default=None, metavar="KEY=VALUE",
@@ -367,12 +431,12 @@ def main(argv=None) -> int:
         "racecheck",
         help="schedule-fuzz a DSM variant and report data races")
     p.add_argument("app", choices=APPS)
-    p.add_argument("variant", choices=["spf", "spf_opt", "spf_old", "tmk"])
+    p.add_argument("variant", choices=list(RACECHECK_VARIANTS))
     p.add_argument("--seeds", type=int, default=5,
                    help="number of schedule seeds to fuzz (default 5)")
     p.add_argument("-n", "--nprocs", type=int, default=8)
     p.add_argument("--preset", default="test",
-                   choices=["paper", "bench", "test"],
+                   choices=list(PRESETS),
                    help="problem size preset (default test: the harness "
                         "runs the app once per seed)")
     p.set_defaults(fn=cmd_racecheck)
@@ -421,9 +485,41 @@ def main(argv=None) -> int:
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed wall-clock regression (default 0.25)")
     p.add_argument("--no-gate", action="store_true",
-                   help="write results without checking the baseline")
+                   help="write results without checking the baseline "
+                        "(or the throughput SLO)")
+    p.add_argument("--throughput", action="store_true",
+                   help="measure runs/min through the repro.serve worker "
+                        "pool vs a serial baseline and gate on the "
+                        "host-calibrated SLO")
+    p.add_argument("--workers", type=int, default=4,
+                   help="service worker processes for --throughput "
+                        "(default 4)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="bench-matrix repetitions for --throughput "
+                        "(default 3)")
+    p.add_argument("--slo", type=float, default=None,
+                   help="throughput SLO as a multiple of serial runs/min "
+                        "(default: 0.75 x min(workers, cpu cores))")
     p.add_argument("-n", "--nprocs", type=int, default=8)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent worker-pool run service (JSON lines over stdio "
+             "or TCP; see docs/API.md for the protocol)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes in the pool (default 4)")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on this TCP port (0 = ephemeral); "
+                        "default: speak the protocol over stdio")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --port (default 127.0.0.1)")
+    p.add_argument("--runner", default=None,
+                   help=argparse.SUPPRESS)   # test hook: module:attr path
+    p.add_argument("--cache-entries", type=int, default=64,
+                   help="compiled-program cache entries per worker "
+                        "(default 64)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "lint",

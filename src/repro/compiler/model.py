@@ -56,9 +56,9 @@ from repro.tmk.pagespace import SharedSpace
 from repro.tmk.stats import DsmStats
 from repro.tmk.sync import BarrierManager, LockTable
 
-__all__ = ["ModelUnsupportedVariant", "MODELED_VARIANTS", "model_variant"]
+from repro.api.registry import MODELED_VARIANTS
 
-MODELED_VARIANTS = ("seq", "spf", "spf_old", "xhpf", "xhpf_ie")
+__all__ = ["ModelUnsupportedVariant", "MODELED_VARIANTS", "model_variant"]
 
 _WORD = 4
 _RUN_HEADER = 8
@@ -146,12 +146,13 @@ def model_variant(app: str, variant: str, nprocs: int = 8,
                   gc_epochs: Optional[int] = 8):
     """Predict one (application, variant) run analytically.
 
-    Returns a :class:`~repro.eval.experiments.VariantResult` with
-    ``mode="model"``; same fields as ``run_variant`` (``dsm`` carries the
-    predicted :class:`DsmStats` for the DSM variants).  Raises
-    :class:`ModelUnsupportedVariant` for ``tmk``/``pvme``/``spf_opt``.
+    Returns a :class:`~repro.api.RunResult` (the historical
+    ``VariantResult``) with ``mode="model"``; same fields as a simulated
+    run (``dsm`` carries the predicted :class:`DsmStats` for the DSM
+    variants).  Raises :class:`ModelUnsupportedVariant` for
+    ``tmk``/``pvme``/``spf_opt``.
     """
-    from repro.eval.experiments import VariantResult, _seq_result
+    from repro.api.types import RunResult
 
     if variant not in MODELED_VARIANTS:
         raise ModelUnsupportedVariant(
@@ -165,9 +166,12 @@ def model_variant(app: str, variant: str, nprocs: int = 8,
     mach = (machine or SP2_MODEL).with_(nprocs=nprocs)
 
     if variant == "seq":
-        res = _seq_result(spec, params, preset)
-        res.mode = "model"
-        return res
+        from repro.compiler.seq import run_sequential
+        _views, scalars, time = run_sequential(spec.build_program(params))
+        return RunResult(app=spec.name, variant="seq", nprocs=1,
+                         preset=preset, time=time, seq_time=time,
+                         messages=0, kilobytes=0.0,
+                         signature=dict(scalars), mode="model")
 
     if seq_time is None:
         seq_time = sequential_time(spec.build_program(params))
@@ -183,7 +187,7 @@ def model_variant(app: str, variant: str, nprocs: int = 8,
 
     elapsed, wtraffic = m.window()
     total = m.traffic
-    return VariantResult(
+    return RunResult(
         app=app, variant=variant, nprocs=nprocs, preset=preset,
         time=elapsed, seq_time=seq_time,
         messages=wtraffic.messages, kilobytes=wtraffic.kilobytes,

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from repro.api.registry import DSM_VARIANTS as _DSM_VARIANTS
+from repro.api.types import (RunRequest, fault_plan_to_doc, machine_to_doc)
 from repro.apps.common import get_app, signatures_close
 from repro.compiler.spf import SpfOptions, compile_spf
 from repro.eval.racecheck import _hash, _wrap_with_readback
@@ -41,8 +43,6 @@ __all__ = ["ChaosCell", "ChaosReport", "chaos_sweep", "DEFAULT_VARIANTS"]
 
 #: the four variants of the paper's Figures 1/2
 DEFAULT_VARIANTS = ("spf", "tmk", "xhpf", "pvme")
-
-_DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
 
 
 @dataclass
@@ -80,7 +80,7 @@ class ChaosReport:
     preset: str
     nprocs: int
     seeds: list
-    plan: dict                   # serialized FaultPlan knobs
+    plan: dict                   # fault_plan_to_doc form (one serializer)
     cells: list = field(default_factory=list)
     errors: list = field(default_factory=list)   # (app, variant, seed, error)
 
@@ -166,9 +166,11 @@ def _run_dsm(setup, main, nprocs, model, faults):
 
 
 def _run_mp(app: str, variant: str, nprocs, preset, model, faults):
-    from repro.eval.experiments import run_variant
-    return run_variant(app, variant, nprocs=nprocs, preset=preset,
-                       model=model, seq_time=1.0, faults=faults)
+    from repro.api.execute import execute
+    return execute(RunRequest(app=app, variant=variant, nprocs=nprocs,
+                              preset=preset, machine=machine_to_doc(model),
+                              seq_time=1.0,
+                              fault_plan=fault_plan_to_doc(faults)))
 
 
 def chaos_sweep(apps: Optional[Sequence[str]] = None,
@@ -195,11 +197,7 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
 
     report = ChaosReport(
         preset=preset, nprocs=nprocs, seeds=seed_list,
-        plan={"rates": vars(plan.rates), "delay_max": plan.delay_max,
-              "reorder_lag": plan.reorder_lag,
-              "stalls": [vars(s) for s in plan.stalls],
-              "slow_nodes": dict(plan.slow_nodes),
-              "max_attempts": plan.max_attempts})
+        plan=fault_plan_to_doc(plan))
 
     for app in apps:
         spec = get_app(app)

@@ -11,197 +11,117 @@ Variants
 ``spf_old``  SPF over the *original* (8(n-1)-message) fork-join interface
 ``xhpf_ie``  XHPF with CHAOS-style inspector-executor schedules (extension)
 
-Every run reports the measured-window elapsed virtual time (the paper times
-only part of each run), whole-run message/kilobyte totals (what Tables 2
-and 3 count), the speedup against the sequential oracle, and the numeric
-signature used by the test suite to prove all variants compute the same
-answer.
+This module is now a thin facade over :mod:`repro.api` — the typed
+``RunRequest``/``RunResult`` layer that the CLI, the run service
+(:mod:`repro.serve`) and every harness share:
+
+* :class:`VariantResult` is an **alias** of :class:`repro.api.RunResult`
+  (same fields and semantics, plus service metadata; it gained
+  ``to_json()``/``from_json()`` with the ``repro-run/1`` schema tag);
+* :func:`run_variant` is a **deprecated shim**: it builds a
+  :class:`~repro.api.RunRequest` and forwards to
+  :func:`repro.api.execute`.  Old notebooks keep working (a
+  ``DeprecationWarning`` tells them where to migrate);
+* :func:`run_all_variants` drives the same path with a shared
+  compiled-program cache (the sequential oracle runs once per app).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Optional
 
-from repro.apps.common import AppSpec, combine_signatures, get_app
-from repro.compiler.seq import run_sequential
-from repro.compiler.spf import SpfOptions, run_spf
-from repro.compiler.xhpf import run_xhpf
-from repro.msg.pvme import Pvme
-from repro.sim.cluster import Cluster
+from repro.api.execute import ProgramCache, execute
+from repro.api.registry import FIGURE_VARIANTS, VARIANTS
+from repro.api.types import (RunRequest, RunResult, fault_plan_to_doc,
+                             machine_to_doc)
 from repro.sim.faults import FaultPlan
 from repro.sim.machine import MachineModel
-from repro.tmk.api import tmk_run
 
 __all__ = ["VariantResult", "run_variant", "run_all_variants", "VARIANTS"]
 
-VARIANTS = ["seq", "spf", "tmk", "xhpf", "pvme", "spf_opt", "spf_old",
-            "xhpf_ie"]
+#: the historical result type — one class, one serializer, everywhere
+VariantResult = RunResult
 
 
-@dataclass
-class VariantResult:
-    app: str
-    variant: str
-    nprocs: int
-    preset: str
-    time: float                  # measured-window elapsed virtual seconds
-    seq_time: float              # sequential oracle's window time
-    messages: int                # measured-window totals (the paper's
-    kilobytes: float             # tables cover the timed region: Jacobi
-                                 # PVMe's 1400 = 14 x 100 timed iterations)
-    signature: dict = field(default_factory=dict)
-    dsm: Optional[object] = None
-    total_messages: int = 0      # whole run, startup included
-    total_kilobytes: float = 0.0
-    categories: dict = field(default_factory=dict)   # window, per category
-    races: Optional[object] = None   # RaceCheckResult when racecheck=True
-    events: int = 0              # simulator events processed (whole run) —
-                                 # wall-clock throughput denominator for
-                                 # ``python -m repro bench``
-    retransmissions: int = 0     # reliable-delivery re-sends (fault runs)
-    fault_stats: Optional[object] = None   # FaultStats when faults attached
-    mode: str = "sim"            # "sim" (event simulation) or "model"
-                                 # (analytic prediction, repro.compiler.model)
-
-    @property
-    def speedup(self) -> float:
-        return self.seq_time / self.time if self.time > 0 else float("inf")
-
-    def row(self) -> str:
-        badge = " [model]" if self.mode == "model" else ""
-        return (f"{self.app:8s} {self.variant:8s} n={self.nprocs} "
-                f"time={self.time:10.4f}s speedup={self.speedup:5.2f} "
-                f"msgs={self.messages:8d} data={self.kilobytes:10.1f}KB"
-                f"{badge}")
-
-
-def _seq_result(spec: AppSpec, params: dict, preset: str) -> VariantResult:
-    program = spec.build_program(params)
-    _views, scalars, time = run_sequential(program)
-    return VariantResult(app=spec.name, variant="seq", nprocs=1,
-                         preset=preset, time=time, seq_time=time,
-                         messages=0, kilobytes=0.0, signature=dict(scalars))
-
-
-DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
+def request_from_legacy(app: str, variant: str, nprocs: int = 8,
+                        preset: str = "bench",
+                        model: Optional[MachineModel] = None,
+                        seq_time: Optional[float] = None,
+                        spf_options=None,
+                        gc_epochs: Optional[int] = 8,
+                        schedule_seed: Optional[int] = None,
+                        racecheck: bool = False,
+                        faults: Optional[FaultPlan] = None) -> RunRequest:
+    """Map the historical ``run_variant`` kwargs sprawl onto a request."""
+    options = None
+    if spf_options is not None and variant == "spf":
+        options = dict(vars(spf_options))
+        if options.pop("piggyback", None) is not None:
+            raise ValueError(
+                "spf_options.piggyback is a callable and cannot cross the "
+                "RunRequest boundary; drive repro.compiler.spf.compile_spf "
+                "directly for piggybacked runs")
+    return RunRequest(app=app, variant=variant, nprocs=nprocs,
+                      preset=preset, machine=machine_to_doc(model),
+                      options=options, gc_epochs=gc_epochs,
+                      schedule_seed=schedule_seed, seq_time=seq_time,
+                      racecheck=racecheck,
+                      fault_plan=fault_plan_to_doc(faults))
 
 
 def run_variant(app: str, variant: str, nprocs: int = 8,
                 preset: str = "bench",
                 model: Optional[MachineModel] = None,
                 seq_time: Optional[float] = None,
-                spf_options: Optional[SpfOptions] = None,
+                spf_options=None,
                 gc_epochs: Optional[int] = 8,
                 schedule_seed: Optional[int] = None,
                 racecheck: bool = False,
                 faults: Optional[FaultPlan] = None) -> VariantResult:
-    """Run one (application, variant) pair and collect its metrics.
+    """Deprecated shim: build a :class:`RunRequest` and execute it.
 
-    ``schedule_seed`` perturbs same-timestamp event ordering in the
-    simulator (any variant).  ``racecheck=True`` attaches the
-    happens-before :class:`~repro.tmk.racecheck.RaceMonitor` and stores
-    its verdict in ``.races`` — only meaningful for the DSM variants
-    (``spf``/``spf_opt``/``spf_old``/``tmk``); message-passing variants
-    share nothing, so asking for it there is an error.  ``faults``
-    attaches a seeded :class:`~repro.sim.faults.FaultPlan` to the
-    interconnect (any variant); the reliable-delivery sublayer recovers
-    transparently and ``.retransmissions``/``.fault_stats`` report what
-    it took.
+    Prefer::
+
+        from repro.api import RunRequest, run
+        run(RunRequest(app, variant, nprocs=..., preset=...))
+
+    The semantics are unchanged: ``schedule_seed`` perturbs
+    same-timestamp event ordering, ``racecheck=True`` attaches the
+    happens-before monitor (DSM variants only), ``faults`` attaches a
+    seeded :class:`~repro.sim.faults.FaultPlan` to the interconnect.
     """
-    spec = get_app(app)
-    params = spec.params(preset)
-    if racecheck and variant not in DSM_VARIANTS:
-        raise ValueError(
-            f"racecheck applies to the DSM variants {DSM_VARIANTS}, not "
-            f"{variant!r} (message-passing variants have no shared memory)")
-    if variant == "seq":
-        return _seq_result(spec, params, preset)
-    if seq_time is None:
-        from repro.compiler.seq import sequential_time
-        seq_time = sequential_time(spec.build_program(params))
-
-    if variant in ("spf", "spf_opt", "spf_old"):
-        if variant == "spf_opt":
-            if spec.spf_opt_options is None:
-                raise ValueError(f"{app} has no hand-optimized variant in "
-                                 f"the paper")
-            options = spec.spf_opt_options()
-        elif variant == "spf_old":
-            options = SpfOptions(improved_interface=False)
-        else:
-            options = spf_options or SpfOptions()
-        program = spec.build_program(params)
-        result = run_spf(program, nprocs=nprocs, options=options,
-                         model=model, gc_epochs=gc_epochs,
-                         schedule_seed=schedule_seed, racecheck=racecheck,
-                         faults=faults)
-        signature = dict(result.scalars)
-        dsm = result.dsm_stats
-    elif variant in ("xhpf", "xhpf_ie"):
-        from repro.compiler.xhpf import XhpfOptions
-        program = spec.build_program(params)
-        options = XhpfOptions(inspector_executor=(variant == "xhpf_ie"))
-        result = run_xhpf(program, nprocs=nprocs, model=model,
-                          options=options, schedule_seed=schedule_seed,
-                          faults=faults)
-        signature = dict(result.scalars)
-        dsm = None
-    elif variant == "tmk":
-        def setup(space):
-            spec.hand_tmk_setup(space, params)
-
-        def main(tmk):
-            return spec.hand_tmk(tmk, params)
-
-        result = tmk_run(nprocs, main, setup, model=model,
-                         gc_epochs=gc_epochs,
-                         schedule_seed=schedule_seed, racecheck=racecheck,
-                         faults=faults)
-        signature = combine_signatures(result.results)
-        dsm = result.dsm_stats
-    elif variant == "pvme":
-        cluster = Cluster(nprocs=nprocs, model=model,
-                          schedule_seed=schedule_seed, faults=faults)
-
-        def pvme_main(env):
-            return spec.hand_pvme(Pvme(env), params)
-
-        result = cluster.run(pvme_main)
-        result.fault_stats = cluster.net.fault_stats
-        signature = combine_signatures(result.results)
-        dsm = None
-    else:
-        raise ValueError(f"unknown variant {variant!r}")
-
-    elapsed, wtraffic = result.window()
-    return VariantResult(
-        app=app, variant=variant, nprocs=nprocs, preset=preset,
-        time=elapsed, seq_time=seq_time,
-        messages=wtraffic.messages, kilobytes=wtraffic.kilobytes,
-        signature=signature, dsm=dsm,
-        total_messages=result.messages,
-        total_kilobytes=result.kilobytes,
-        categories={k: (v[0], v[1])
-                    for k, v in wtraffic.by_category.items()},
-        races=getattr(result, "racecheck", None),
-        events=getattr(result, "events", 0),
-        retransmissions=result.stats.retransmissions,
-        fault_stats=getattr(result, "fault_stats", None),
-    )
+    warnings.warn(
+        "run_variant(app, variant, ...) is deprecated; build a "
+        "repro.api.RunRequest and call repro.api.run() (or batch through "
+        "repro.serve.RunService) instead",
+        DeprecationWarning, stacklevel=2)
+    return execute(request_from_legacy(
+        app, variant, nprocs=nprocs, preset=preset, model=model,
+        seq_time=seq_time, spf_options=spf_options, gc_epochs=gc_epochs,
+        schedule_seed=schedule_seed, racecheck=racecheck, faults=faults))
 
 
 def run_all_variants(app: str, nprocs: int = 8, preset: str = "bench",
                      variants: Optional[list] = None,
-                     model: Optional[MachineModel] = None) -> dict:
-    """Run ``variants`` (default: the four of Figures 1/2 plus seq)."""
+                     model: Optional[MachineModel] = None,
+                     cache: Optional[ProgramCache] = None) -> dict:
+    """Run ``variants`` (default: the four of Figures 1/2 plus seq).
+
+    One compiled-program cache spans the batch, and the sequential
+    oracle's measured time seeds every later variant's speedup — the same
+    contract as before, now through the unified API.
+    """
     if variants is None:
-        variants = ["seq", "spf", "tmk", "xhpf", "pvme"]
+        variants = list(FIGURE_VARIANTS)
+    cache = cache if cache is not None else ProgramCache()
+    machine = machine_to_doc(model)
     out: dict = {}
     seq_time = None
     for variant in variants:
-        res = run_variant(app, variant, nprocs=nprocs, preset=preset,
-                          model=model, seq_time=seq_time)
+        res = execute(RunRequest(app=app, variant=variant, nprocs=nprocs,
+                                 preset=preset, machine=machine,
+                                 seq_time=seq_time), cache)
         out[variant] = res
         if variant == "seq":
             seq_time = res.time

@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.registry import DSM_VARIANTS as _DSM_VARIANTS
 from repro.apps.common import combine_signatures, get_app, signatures_close
 from repro.compiler.seq import run_sequential
 from repro.compiler.spf import SpfOptions, compile_spf
@@ -45,8 +46,6 @@ INTERNAL_PREFIXES = ("__red_", "__acc_", "__fj_")
 
 #: source tag of the harness's own coherent readback accesses
 READBACK_SOURCE = "racecheck:readback"
-
-_DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
 
 
 @dataclass

@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Optional
 
+from repro.api.execute import ProgramCache, execute
+from repro.api.types import RunRequest, machine_to_doc
 from repro.apps.common import get_app
-from repro.compiler.model import model_variant
 from repro.compiler.seq import sequential_time
 from repro.eval.constants import APPS
 from repro.sim.machine import SP2_MODEL, MachineModel
@@ -23,7 +24,7 @@ from repro.sim.machine import SP2_MODEL, MachineModel
 __all__ = ["SWEEP_SCHEMA", "DEFAULT_NODES", "DEFAULT_SWEEP_VARIANTS",
            "run_sweep", "format_sweep_tables"]
 
-SWEEP_SCHEMA = "repro-sweep/1"
+SWEEP_SCHEMA = "repro-sweep/2"
 DEFAULT_NODES = (8, 16, 64, 256, 1024)
 DEFAULT_SWEEP_VARIANTS = ("spf", "spf_old", "xhpf", "xhpf_ie")
 
@@ -39,10 +40,12 @@ def run_sweep(apps: Optional[list] = None,
 
     The document is schema-stable (``tests/test_sweep_schema.py`` pins it):
 
-    * ``schema`` — ``"repro-sweep/1"``
+    * ``schema`` — ``"repro-sweep/2"``
     * ``preset``, ``machine`` (full parameter set), ``nodes``, ``variants``
-    * ``apps[app]`` — ``seq_time`` plus per-variant lists of per-N rows,
-      each row carrying ``mode: "model"``.
+    * ``apps[app]`` — ``seq_time`` plus per-variant lists of per-N rows.
+      Each row is the deterministic (fingerprint) form of the unified
+      ``repro-run/1`` result document — the same serializer the serve wire
+      protocol and the chaos harness use — and carries ``mode: "model"``.
     """
     apps = list(apps or APPS)
     variants = list(variants or DEFAULT_SWEEP_VARIANTS)
@@ -55,6 +58,8 @@ def run_sweep(apps: Optional[list] = None,
         "variants": variants,
         "apps": {},
     }
+    cache = ProgramCache()
+    machine_doc = machine_to_doc(mach)
     for app in apps:
         spec = get_app(app)
         seq_time = sequential_time(spec.build_program(spec.params(preset)))
@@ -64,19 +69,11 @@ def run_sweep(apps: Optional[list] = None,
             for n in nodes:
                 if progress:
                     progress(f"model {app} {variant} n={n}")
-                res = model_variant(app, variant, nprocs=int(n),
-                                    preset=preset, machine=mach,
-                                    seq_time=seq_time, gc_epochs=gc_epochs)
-                rows.append({
-                    "nprocs": int(n),
-                    "mode": res.mode,
-                    "time": res.time,
-                    "speedup": res.speedup,
-                    "messages": res.messages,
-                    "kilobytes": res.kilobytes,
-                    "total_messages": res.total_messages,
-                    "total_kilobytes": res.total_kilobytes,
-                })
+                res = execute(RunRequest(
+                    app=app, variant=variant, nprocs=int(n), preset=preset,
+                    mode="model", machine=machine_doc, seq_time=seq_time,
+                    gc_epochs=gc_epochs), cache)
+                rows.append(res.fingerprint())
             entry["variants"][variant] = rows
         doc["apps"][app] = entry
     return doc

@@ -1,0 +1,27 @@
+"""`repro.serve` — the persistent worker-pool run service.
+
+Library entry point::
+
+    from repro.serve import RunService
+    with RunService(workers=4) as svc:
+        batch = svc.run_batch(requests)       # BatchResult, request order
+        for idx, res in svc.stream(requests): # completion order
+            ...
+
+CLI entry point: ``python -m repro serve`` (stdio or TCP JSON-lines —
+see :mod:`repro.serve.wire` for the protocol).
+"""
+
+from repro.serve.service import DEFAULT_WORKERS, RunService
+from repro.serve.wire import WIRE_SCHEMA, WireClient, WireServer, serve_stdio
+from repro.serve.worker import DEFAULT_RUNNER
+
+__all__ = [
+    "RunService",
+    "DEFAULT_WORKERS",
+    "DEFAULT_RUNNER",
+    "WIRE_SCHEMA",
+    "WireClient",
+    "WireServer",
+    "serve_stdio",
+]

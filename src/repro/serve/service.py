@@ -1,0 +1,296 @@
+"""`RunService` — the persistent multi-process worker pool.
+
+The simulator executes one run's virtual processors as parked Python
+threads inside a single process, so a process can only retire one run at
+a time no matter how many cores the host has.  Runs are embarrassingly
+parallel at the *request* level, though: a :class:`RunService` keeps
+``workers`` spawned processes alive across batches, hands each idle
+worker the next queued :class:`~repro.api.RunRequest`, and streams
+results back **as they complete**.  Each worker holds its own compiled-
+program cache, so repeated requests skip IR lowering/codegen (see
+:mod:`repro.api.execute`).
+
+Scheduling is parent-side pull: every worker is connected by two simplex
+pipes (tasks down, results up) and has at most one assigned request,
+recorded in the parent *before* the task is sent.  Per-worker pipes —
+rather than one queue shared by all writers — are what make crash
+recovery airtight: a shared ``multiprocessing.Queue`` funnels every
+writer through one cross-process write lock, and a worker hard-killed
+while holding it would poison the queue for the whole pool.  A simplex
+pipe has a single writer, so a death can only sever that worker's own
+channel; the parent observes EOF on it the moment the process is gone.
+
+Failure surface — the contract the e2e tests pin:
+
+* an exception inside a run returns a structured ``ok=False``
+  :class:`~repro.api.RunResult` (``error``/``error_kind``), never kills
+  the worker;
+* a hard worker death (``os._exit``, segfault, OOM) is detected by EOF
+  on its result pipe (with an ``is_alive`` poll as backstop): the
+  assigned request is failed with ``error_kind="WorkerCrashed"``, the
+  pool respawns a replacement (when ``respawn=True``, the default), and
+  the rest of the batch completes — a crash mid-batch is a result, not
+  a hang.
+
+Use it as a context manager::
+
+    with RunService(workers=4) as svc:
+        for idx, res in svc.stream(requests):
+            ...                       # completion order
+        batch = svc.run_batch(requests)   # request order + counters
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time as _time
+from collections import deque
+from multiprocessing import connection as _mpc
+from typing import Iterable
+
+from repro.api.types import BatchResult, RunRequest, RunResult
+from repro.serve.worker import DEFAULT_RUNNER, worker_main
+
+__all__ = ["RunService", "DEFAULT_WORKERS"]
+
+DEFAULT_WORKERS = 4
+
+_POLL_S = 0.1      # fallback liveness-poll period (EOF is the fast path)
+
+
+class RunService:
+    """A persistent pool of spawn-context worker processes.
+
+    ``runner`` is a ``"module:attr"`` dotted path resolved inside each
+    worker (tests inject failing/crashing runners through it); the
+    default executes through :func:`repro.api.execute`.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS,
+                 runner: str = DEFAULT_RUNNER,
+                 respawn: bool = True,
+                 cache_entries: int = 64,
+                 start_method: str = "spawn"):
+        if workers < 1:
+            raise ValueError("RunService needs at least one worker")
+        self.workers = workers
+        self.runner = runner
+        self.respawn = respawn
+        self.cache_entries = cache_entries
+        self._ctx = mp.get_context(start_method)
+        self._procs: dict = {}           # worker_id -> Process
+        self._task_conns: dict = {}      # worker_id -> parent write end
+        self._result_conns: dict = {}    # worker_id -> parent read end
+        self._assigned: dict = {}        # worker_id -> seq it is running
+        self._cache_stats: dict = {}     # worker_id -> last-seen stats
+        self._next_worker = 0
+        self._next_seq = 0
+        self._crashes = 0
+        self._closed = False
+        for _ in range(workers):
+            self._spawn()
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing
+
+    def _spawn(self) -> int:
+        wid = self._next_worker
+        self._next_worker += 1
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(wid, task_r, result_w, self.runner, self.cache_entries),
+            name=f"repro-serve-{wid}", daemon=True)
+        proc.start()
+        # close the child's ends in the parent so a worker death turns
+        # into EOF on our read end instead of an eternally-open pipe
+        task_r.close()
+        result_w.close()
+        self._procs[wid] = proc
+        self._task_conns[wid] = task_w
+        self._result_conns[wid] = result_r
+        return wid
+
+    def _discard(self, wid: int) -> None:
+        """Forget a dead worker's process and pipes."""
+        self._procs.pop(wid, None)
+        for conns in (self._task_conns, self._result_conns):
+            conn = conns.pop(wid, None)
+            if conn is not None:
+                conn.close()
+
+    def _idle_workers(self) -> list:
+        return [wid for wid in self._procs if wid not in self._assigned]
+
+    def _dispatch(self, backlog: deque, pending: dict) -> None:
+        """Hand queued work to idle workers (assignment recorded first)."""
+        for wid in self._idle_workers():
+            if not backlog:
+                return
+            seq = backlog.popleft()
+            self._assigned[wid] = seq
+            try:
+                self._task_conns[wid].send(("run", seq, pending[seq]))
+            except (BrokenPipeError, OSError):
+                pass           # already dead: _reap fails the assignment
+
+    def _fail_assignment(self, wid: int, proc, pending: dict) -> list:
+        seq = self._assigned.pop(wid, None)
+        if seq is None or seq not in pending:
+            return []
+        request = RunRequest.from_json(pending[seq])
+        exitcode = proc.exitcode if proc is not None else None
+        return [(seq, RunResult.failure(
+            request,
+            error=(f"worker {wid} died (exit code {exitcode}) "
+                   "while running this request"),
+            error_kind="WorkerCrashed", worker=wid))]
+
+    def _reap_worker(self, wid: int, pending: dict) -> list:
+        """One worker is dead: fail its assignment, respawn a stand-in."""
+        proc = self._procs.get(wid)
+        if proc is not None:
+            proc.join(timeout=1.0)
+        self._discard(wid)
+        self._crashes += 1
+        failed = self._fail_assignment(wid, proc, pending)
+        if self.respawn and not self._closed:
+            self._spawn()
+        return failed
+
+    def _reap(self, pending: dict, backlog: deque) -> list:
+        """Poll liveness (backstop to pipe EOF); fail dead assignments."""
+        failed = []
+        for wid, proc in list(self._procs.items()):
+            if not proc.is_alive():
+                failed.extend(self._reap_worker(wid, pending))
+        if not self._procs:
+            # pool exhausted (respawn disabled): fail everything left
+            for seq in list(backlog):
+                request = RunRequest.from_json(pending[seq])
+                failed.append((seq, RunResult.failure(
+                    request, error="no live workers remain in the pool",
+                    error_kind="WorkerCrashed")))
+            backlog.clear()
+        return failed
+
+    # ------------------------------------------------------------------ #
+    # submitting work
+
+    @staticmethod
+    def _as_doc(request) -> dict:
+        if isinstance(request, RunRequest):
+            return request.to_json()
+        return dict(request)
+
+    def stream(self, requests: Iterable):
+        """Yield ``(index, RunResult)`` in completion order.
+
+        ``index`` is the request's position in this call's batch.
+        Accepts :class:`RunRequest` objects or already-serialized docs.
+        Single-consumer: concurrent ``stream`` calls must be serialized
+        by the caller (the wire layer holds a lock around this).
+        """
+        if self._closed:
+            raise RuntimeError("RunService is closed")
+        index_of: dict = {}
+        pending: dict = {}
+        backlog: deque = deque()
+        for request in requests:
+            seq = self._next_seq
+            self._next_seq += 1
+            index_of[seq] = len(index_of)
+            pending[seq] = self._as_doc(request)
+            backlog.append(seq)
+        self._dispatch(backlog, pending)
+        while pending:
+            wid_of = {conn: wid
+                      for wid, conn in self._result_conns.items()}
+            ready = _mpc.wait(list(wid_of), timeout=_POLL_S) \
+                if wid_of else []
+            failed = []
+            for conn in ready:
+                wid = wid_of[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    failed.extend(self._reap_worker(wid, pending))
+                    continue
+                _kind, _wid, seq, doc, cache_stats = msg
+                if self._assigned.get(wid) == seq:
+                    del self._assigned[wid]
+                self._cache_stats[wid] = cache_stats
+                if seq in pending:
+                    pending.pop(seq)
+                    yield index_of[seq], RunResult.from_json(doc)
+            if not ready:
+                failed.extend(self._reap(pending, backlog))
+            for seq, result in failed:
+                pending.pop(seq, None)
+                yield index_of[seq], result
+            self._dispatch(backlog, pending)
+
+    def run_batch(self, requests: Iterable) -> BatchResult:
+        """Run a batch; return ordered results plus service counters."""
+        docs = [self._as_doc(r) for r in requests]
+        t0 = _time.perf_counter()
+        crashes_before = self._crashes
+        results: list = [None] * len(docs)
+        for idx, result in self.stream(docs):
+            results[idx] = result
+        wall = _time.perf_counter() - t0
+        return BatchResult(
+            results=tuple(results),
+            wall_s=round(wall, 6),
+            workers=self.workers,
+            cache_hits=sum(1 for r in results if r.cache_hit),
+            cache_misses=sum(1 for r in results if r.cache_hit is False),
+            crashes=self._crashes - crashes_before)
+
+    def submit(self, requests: Iterable) -> BatchResult:
+        """Alias of :meth:`run_batch` (symmetry with the wire protocol)."""
+        return self.run_batch(requests)
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+
+    def stats(self) -> dict:
+        per_worker = {str(wid): stats
+                      for wid, stats in sorted(self._cache_stats.items())}
+        return {
+            "workers": len(self._procs),
+            "crashes": self._crashes,
+            "cache": {
+                "hits": sum(s["hits"] for s in per_worker.values()),
+                "misses": sum(s["misses"] for s in per_worker.values()),
+                "per_worker": per_worker,
+            },
+        }
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._task_conns.values():
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = _time.monotonic() + timeout
+        for proc in self._procs.values():
+            proc.join(timeout=max(0.0, deadline - _time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs.clear()
+        for conns in (self._task_conns, self._result_conns):
+            for conn in conns.values():
+                conn.close()
+            conns.clear()
+
+    def __enter__(self) -> "RunService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,289 @@
+"""JSON-lines wire protocol for the run service (stdio and TCP).
+
+One message per line, each a JSON object with an ``"op"`` field.  The
+request/result payloads are exactly the documents produced by
+:meth:`repro.api.RunRequest.to_json` and
+:meth:`repro.api.RunResult.to_json` — the wire format *is* the library
+serialization (``repro-run/1``), not a third dialect.
+
+Server -> client::
+
+    {"op": "hello", "schema": "repro-serve/1", "workers": N}
+    {"op": "result", "id": ..., "index": i, "result": <run doc>}   # streamed
+    {"op": "batch-done", "id": ..., "batch": <batch doc>}
+    {"op": "stats", "stats": {...}}
+    {"op": "error", "message": "..."}
+    {"op": "bye"}
+
+Client -> server::
+
+    {"op": "run", "id": ..., "request": <request doc>}
+    {"op": "batch", "id": ..., "requests": [<request doc>, ...]}
+    {"op": "stats"}
+    {"op": "shutdown"}          # stop the whole service
+    {"op": "bye"}               # close just this connection
+
+``repro serve`` speaks this over stdio (``--stdio``) or a TCP socket
+(``--port``); :class:`WireClient` is the in-library client the e2e tests
+and ``repro bench --throughput`` can point at a remote service.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Iterable, Optional
+
+from repro.api.types import BatchResult, RunResult
+
+WIRE_SCHEMA = "repro-serve/1"
+
+__all__ = ["WIRE_SCHEMA", "serve_stdio", "WireServer", "WireClient"]
+
+
+def _hello(service) -> dict:
+    return {"op": "hello", "schema": WIRE_SCHEMA,
+            "workers": service.workers}
+
+
+def _handle(service, msg: dict, emit, lock: threading.Lock) -> str:
+    """Dispatch one client message; returns "", "bye" or "shutdown".
+
+    ``emit`` writes one message object back to this client; ``lock``
+    serializes access to the (single-consumer) service queues so several
+    TCP connections cannot interleave their streams.
+    """
+    op = msg.get("op")
+    if op == "bye":
+        emit({"op": "bye"})
+        return "bye"
+    if op == "shutdown":
+        emit({"op": "bye"})
+        return "shutdown"
+    if op == "stats":
+        with lock:
+            emit({"op": "stats", "stats": service.stats()})
+        return ""
+    if op == "run":
+        with lock:
+            batch = service.run_batch([msg["request"]])
+        emit({"op": "result", "id": msg.get("id"), "index": 0,
+              "result": batch.results[0].to_json()})
+        return ""
+    if op == "batch":
+        requests = msg.get("requests", [])
+        results = [None] * len(requests)
+        import time as _time
+        t0 = _time.perf_counter()
+        crashes0 = service._crashes
+        with lock:
+            for index, result in service.stream(requests):
+                results[index] = result
+                emit({"op": "result", "id": msg.get("id"), "index": index,
+                      "result": result.to_json()})
+            crashes = service._crashes - crashes0
+        batch = BatchResult(
+            results=tuple(results),
+            wall_s=round(_time.perf_counter() - t0, 6),
+            workers=service.workers,
+            cache_hits=sum(1 for r in results if r and r.cache_hit),
+            cache_misses=sum(1 for r in results
+                             if r and r.cache_hit is False),
+            crashes=crashes)
+        emit({"op": "batch-done", "id": msg.get("id"),
+              "batch": batch.to_json()})
+        return ""
+    emit({"op": "error", "message": f"unknown op {op!r}"})
+    return ""
+
+
+# ---------------------------------------------------------------------- #
+# stdio transport
+
+def serve_stdio(service, stdin, stdout) -> str:
+    """Serve one client over text streams; returns why we stopped."""
+    lock = threading.Lock()
+
+    def emit(obj: dict) -> None:
+        stdout.write(json.dumps(obj, sort_keys=True) + "\n")
+        stdout.flush()
+
+    emit(_hello(service))
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            msg = json.loads(line)
+        except ValueError as exc:
+            emit({"op": "error", "message": f"bad json: {exc}"})
+            continue
+        try:
+            verdict = _handle(service, msg, emit, lock)
+        except Exception as exc:  # noqa: BLE001 — keep the session alive
+            emit({"op": "error", "message": str(exc)})
+            continue
+        if verdict:
+            return verdict
+    return "eof"
+
+
+# ---------------------------------------------------------------------- #
+# TCP transport
+
+class WireServer:
+    """Threaded TCP front-end over one shared :class:`RunService`.
+
+    Connections are accepted concurrently but batches are serialized
+    through the service lock (the pool is the unit of parallelism, not
+    the connection count).  ``shutdown`` from any client stops the
+    server.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        outer = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                stdin = (line.decode("utf-8") for line in self.rfile)
+
+                def emit(obj: dict) -> None:
+                    data = json.dumps(obj, sort_keys=True) + "\n"
+                    self.wfile.write(data.encode("utf-8"))
+                    self.wfile.flush()
+
+                emit(_hello(outer.service))
+                for line in stdin:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        msg = json.loads(line)
+                    except ValueError as exc:
+                        emit({"op": "error", "message": f"bad json: {exc}"})
+                        continue
+                    try:
+                        verdict = _handle(outer.service, msg, emit,
+                                          outer._lock)
+                    except Exception as exc:  # noqa: BLE001
+                        emit({"op": "error", "message": str(exc)})
+                        continue
+                    if verdict == "bye":
+                        return
+                    if verdict == "shutdown":
+                        outer._shutdown.set()
+                        threading.Thread(target=outer._tcp.shutdown,
+                                         daemon=True).start()
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._tcp = _Server((host, port), _Handler)
+        self.host, self.port = self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def serve_in_thread(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-serve-tcp", daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+
+
+class WireClient:
+    """Minimal JSON-lines client for a :class:`WireServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._wfile = self._sock.makefile("w", encoding="utf-8")
+        self.hello = self._recv()
+        if self.hello.get("schema") != WIRE_SCHEMA:
+            raise RuntimeError(f"unexpected wire schema: {self.hello}")
+
+    def _send(self, obj: dict) -> None:
+        self._wfile.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._wfile.flush()
+
+    def _recv(self) -> dict:
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def run(self, request, id: Optional[object] = None) -> RunResult:
+        doc = request.to_json() if hasattr(request, "to_json") else request
+        self._send({"op": "run", "id": id, "request": doc})
+        msg = self._recv()
+        if msg.get("op") == "error":
+            raise RuntimeError(msg.get("message"))
+        return RunResult.from_json(msg["result"])
+
+    def stream_batch(self, requests: Iterable,
+                     id: Optional[object] = None):
+        """Send a batch; yield streamed messages, ending in batch-done.
+
+        Yields ``("result", index, RunResult)`` per completion, then
+        ``("batch", None, BatchResult)``.
+        """
+        docs = [r.to_json() if hasattr(r, "to_json") else r
+                for r in requests]
+        self._send({"op": "batch", "id": id, "requests": docs})
+        while True:
+            msg = self._recv()
+            op = msg.get("op")
+            if op == "result":
+                yield ("result", msg["index"],
+                       RunResult.from_json(msg["result"]))
+            elif op == "batch-done":
+                yield ("batch", None, BatchResult.from_json(msg["batch"]))
+                return
+            elif op == "error":
+                raise RuntimeError(msg.get("message"))
+
+    def run_batch(self, requests: Iterable) -> BatchResult:
+        batch = None
+        for kind, _index, payload in self.stream_batch(requests):
+            if kind == "batch":
+                batch = payload
+        return batch
+
+    def stats(self) -> dict:
+        self._send({"op": "stats"})
+        msg = self._recv()
+        if msg.get("op") == "error":
+            raise RuntimeError(msg.get("message"))
+        return msg["stats"]
+
+    def shutdown(self) -> None:
+        self._send({"op": "shutdown"})
+        try:
+            self._recv()
+        except (ConnectionError, ValueError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._send({"op": "bye"})
+        except (OSError, ValueError):
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,32 @@
+"""Injectable worker runners for the serve e2e tests.
+
+These must live in an importable module (not a test function): the
+service spawns workers with the ``spawn`` start method and resolves the
+runner from its ``"module:attr"`` dotted path inside the child process.
+The echo runner answers instantly, so crash/failure plumbing can be
+tested without paying for real simulator runs.
+"""
+
+import os
+
+from repro.api.types import RunRequest, RunResult
+
+
+def echo_runner(request_doc, cache):
+    """Answer every request instantly with a synthetic result.
+
+    ``tag == "crash"``  -> hard process death (``os._exit``), the one
+    failure mode that cannot be converted to a structured result inside
+    the worker — exercises the parent's liveness monitor.
+    ``tag == "fail"``   -> raises, exercising the structured-failure path.
+    """
+    request = RunRequest.from_json(request_doc)
+    if request.tag == "crash":
+        os._exit(17)
+    if request.tag == "fail":
+        raise RuntimeError("injected failure")
+    cache.get(request.cache_key(), lambda: "compiled")
+    return RunResult(app=request.app, variant=request.variant,
+                     nprocs=request.nprocs, preset=request.preset,
+                     time=1.0, seq_time=float(request.seq_time or 0.0),
+                     tag=request.tag).to_json()

@@ -1,0 +1,154 @@
+"""The `repro.api` value types: serialization, identity, the legacy shim.
+
+Pins the ``repro-run/1`` contract that the CLI, the sweep/chaos
+harnesses and the serve wire protocol all share:
+
+* ``RunRequest``/``RunResult``/``BatchResult`` round-trip through
+  ``to_json()``/``from_json()`` under their schema tags;
+* ``RunResult.fingerprint()`` is the bit-identity currency — equal
+  fingerprints iff the runs are equivalent, volatile fields excluded;
+* the machine/fault-plan doc serializers invert each other;
+* the registry is the single source of app/variant truth;
+* ``run_variant`` is a deprecation shim over the same execution path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (DSM_VARIANTS, PRESETS, RACECHECK_VARIANTS, VARIANTS,
+                       BatchResult, ProgramCache, RunRequest, RunResult,
+                       execute, registry)
+from repro.api.types import (RUN_SCHEMA, VOLATILE_RESULT_FIELDS,
+                             fault_plan_from_doc, fault_plan_to_doc,
+                             machine_from_doc, machine_to_doc)
+from repro.eval.experiments import request_from_legacy, run_variant
+from repro.sim.faults import FaultPlan
+from repro.sim.machine import SP2_MODEL
+
+
+def test_run_request_round_trips_with_schema_tag():
+    req = RunRequest("jacobi", "spf", nprocs=4, preset="test",
+                     gc_epochs=4, schedule_seed=7, racecheck=True,
+                     options={"improved_interface": False}, tag="t-1")
+    doc = req.to_json()
+    assert doc["schema"] == RUN_SCHEMA
+    assert RunRequest.from_json(doc) == req
+    # docs are plain JSON: a dict round-trip must also work
+    assert RunRequest.from_json(dict(doc)) == req
+
+
+def test_run_request_rejects_wrong_schema():
+    doc = RunRequest("jacobi", "spf").to_json()
+    doc["schema"] = "repro-run/999"
+    with pytest.raises(ValueError):
+        RunRequest.from_json(doc)
+
+
+def test_cache_key_tracks_compile_coordinates_only():
+    base = RunRequest("jacobi", "spf", nprocs=4, preset="test")
+    assert base.cache_key() == RunRequest(
+        "jacobi", "spf", nprocs=4, preset="test",
+        schedule_seed=3, tag="x").cache_key()
+    assert base.cache_key() != dataclasses.replace(
+        base, nprocs=8).cache_key()
+
+
+def test_run_result_round_trips_and_fingerprint_drops_volatiles():
+    res = execute(RunRequest("jacobi", "spf", nprocs=2, preset="test",
+                             seq_time=1.0))
+    doc = res.to_json()
+    assert doc["schema"] == RUN_SCHEMA
+    assert RunResult.from_json(doc).fingerprint() == res.fingerprint()
+    fp = res.fingerprint()
+    for field in VOLATILE_RESULT_FIELDS:
+        assert field not in fp
+    # the volatile fields are exactly what may differ between a direct
+    # run and a service run of the same request
+    again = dataclasses.replace(res, wall_s=1e9, worker=42,
+                                cache_hit=True)
+    assert again.fingerprint() == fp
+
+
+def test_batch_result_round_trips_with_counters():
+    results = tuple(execute(RunRequest("jacobi", v, nprocs=2,
+                                       preset="test", seq_time=1.0))
+                    for v in ("spf", "tmk"))
+    batch = BatchResult(results=results, wall_s=1.5, workers=2,
+                        cache_hits=1, cache_misses=1, crashes=0)
+    doc = batch.to_json()
+    back = BatchResult.from_json(doc)
+    assert back.ok and back.runs == 2
+    assert (back.cache_hits, back.cache_misses) == (1, 1)
+    assert [r.fingerprint() for r in back.results] \
+        == [r.fingerprint() for r in results]
+
+
+def test_machine_and_fault_plan_docs_invert():
+    assert machine_to_doc(None) is None
+    assert machine_from_doc(None) is None
+    mach = SP2_MODEL.with_(latency=2e-4)
+    assert machine_from_doc(machine_to_doc(mach)) == mach
+    assert fault_plan_to_doc(None) is None
+    plan = FaultPlan.default(seed=3)
+    back = fault_plan_from_doc(fault_plan_to_doc(plan))
+    assert back.seed == 3
+    assert back.rates == plan.rates
+    assert back.stalls == plan.stalls
+
+
+def test_registry_is_consistent():
+    assert set(DSM_VARIANTS) <= set(VARIANTS)
+    assert set(RACECHECK_VARIANTS) <= set(DSM_VARIANTS)
+    assert set(PRESETS) == {"paper", "bench", "test"}
+    listed = {info.name for info in registry.apps()}
+    assert listed == set(registry.APPS)
+    for info in registry.apps():
+        # every app serves at least the canonical presets (extras allowed:
+        # other test modules register app-specific ones, e.g. "traffic")
+        assert set(PRESETS) <= set(info.presets)
+        assert registry.supports(info.name, "spf") is None
+        # spf_opt exists only where the paper hand-optimized the app
+        reason = registry.supports(info.name, "spf_opt")
+        assert (reason is None) == info.has_spf_opt, info.name
+    with pytest.raises(ValueError, match="warp"):
+        registry.supports("jacobi", "warp")
+
+
+def test_run_variant_shim_warns_and_matches_unified_path():
+    with pytest.warns(DeprecationWarning, match="RunRequest"):
+        legacy = run_variant("jacobi", "spf", nprocs=2, preset="test",
+                             seq_time=1.0)
+    unified = execute(request_from_legacy("jacobi", "spf", nprocs=2,
+                                          preset="test", seq_time=1.0))
+    assert legacy.fingerprint() == unified.fingerprint()
+
+
+def test_run_variant_shim_forwards_every_legacy_kwarg():
+    req = request_from_legacy(
+        "jacobi", "spf", nprocs=4, preset="test",
+        model=SP2_MODEL.with_(latency=2e-4), seq_time=2.0,
+        gc_epochs=4, schedule_seed=9, racecheck=True,
+        faults=FaultPlan.default(seed=1))
+    assert (req.nprocs, req.preset, req.seq_time) == (4, "test", 2.0)
+    assert (req.gc_epochs, req.schedule_seed, req.racecheck) == (4, 9, True)
+    assert req.machine["latency"] == 2e-4
+    assert req.fault_plan["seed"] == 1
+    # and the request is wire-clean: it survives its own serializer
+    assert RunRequest.from_json(req.to_json()) == req
+
+
+def test_program_cache_counts_hits_and_evicts_lru():
+    cache = ProgramCache(max_entries=2)
+    builds = []
+
+    def make(key):
+        return lambda: builds.append(key) or key
+
+    assert cache.get("a", make("a")) == ("a", False)
+    assert cache.get("a", make("a")) == ("a", True)
+    cache.get("b", make("b"))
+    cache.get("c", make("c"))        # evicts "a" (LRU)
+    assert cache.get("a", make("a")) == ("a", False)
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 4

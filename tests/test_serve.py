@@ -1,0 +1,145 @@
+"""End-to-end tests of the repro.serve worker-pool service.
+
+The contract under test (see docs/API.md):
+
+* a mixed batch through the service returns results **bit-identical**
+  (``RunResult.fingerprint()``) to direct in-process ``execute`` calls;
+* the per-worker compiled-program caches work and their hit/miss
+  counters surface through ``RunResult.cache_hit`` and the batch/service
+  counters;
+* a worker that raises returns a structured ``ok=False`` result; a
+  worker that *dies* mid-batch surfaces a structured ``WorkerCrashed``
+  result and the batch still completes — never a hang;
+* the JSON-lines wire protocol (TCP) round-trips requests, streamed
+  results and batch documents.
+"""
+
+import pytest
+
+from repro.api import ProgramCache, RunRequest, execute
+from repro.serve import RunService, WireClient, WireServer
+
+#: tiny standard-preset mix: two DSM variants, one MP, one sequential
+REQUESTS = [
+    RunRequest("jacobi", "spf", nprocs=2, preset="test", seq_time=1.0),
+    RunRequest("jacobi", "tmk", nprocs=2, preset="test", seq_time=1.0),
+    RunRequest("jacobi", "spf", nprocs=2, preset="test", seq_time=1.0),
+    RunRequest("mgs", "seq", nprocs=1, preset="test"),
+]
+
+ECHO = "tests.serve_helpers:echo_runner"
+
+
+@pytest.fixture(scope="module")
+def service():
+    with RunService(workers=2) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def batch(service):
+    return service.run_batch(REQUESTS)
+
+
+def test_batch_results_bit_identical_to_direct_execution(batch):
+    cache = ProgramCache()
+    direct = [execute(r, cache) for r in REQUESTS]
+    assert [r.fingerprint() for r in batch.results] \
+        == [r.fingerprint() for r in direct]
+
+
+def test_batch_is_ordered_and_ok(batch):
+    assert batch.ok and batch.runs == len(REQUESTS)
+    assert [r.variant for r in batch.results] \
+        == [r.variant for r in REQUESTS]
+    assert all(r.worker is not None for r in batch.results)
+    assert batch.crashes == 0
+
+
+def test_cache_counters_surface(service, batch):
+    # first batch: every compile is at most one hit (the repeated jacobi
+    # spf request can land on the warm worker), never all hits
+    assert batch.cache_misses > 0
+    # identical second batch: the pool is warm, so repeats that land on a
+    # worker that has seen the request hit its cache; service-level stats
+    # must account every verdict
+    again = service.run_batch(REQUESTS)
+    assert again.cache_hits + again.cache_misses == len(REQUESTS)
+    assert again.cache_hits > 0
+    stats = service.stats()
+    assert stats["cache"]["hits"] >= again.cache_hits
+    assert stats["cache"]["misses"] >= batch.cache_misses
+    assert [r.fingerprint() for r in again.results] \
+        == [r.fingerprint() for r in batch.results]
+
+
+def test_streaming_yields_every_index_once(service):
+    seen = dict(service.stream(REQUESTS[:2]))
+    assert sorted(seen) == [0, 1]
+    assert all(res.ok for res in seen.values())
+
+
+def test_worker_exception_returns_structured_failure():
+    with RunService(workers=1, runner=ECHO) as svc:
+        batch = svc.run_batch([
+            RunRequest("jacobi", "spf", preset="test", tag="ok-1"),
+            RunRequest("jacobi", "spf", preset="test", tag="fail"),
+            RunRequest("jacobi", "spf", preset="test", tag="ok-2"),
+        ])
+    assert not batch.ok and batch.runs == 3
+    failed = batch.results[1]
+    assert failed.error_kind == "RuntimeError"
+    assert "injected failure" in failed.error
+    assert batch.results[0].ok and batch.results[2].ok
+    assert batch.crashes == 0
+
+
+def test_worker_crash_mid_batch_surfaces_error_not_hang():
+    with RunService(workers=1, runner=ECHO) as svc:
+        batch = svc.run_batch([
+            RunRequest("jacobi", "spf", preset="test", tag="ok-1"),
+            RunRequest("jacobi", "spf", preset="test", tag="crash"),
+            RunRequest("jacobi", "spf", preset="test", tag="ok-2"),
+        ])
+        assert not batch.ok and batch.runs == 3
+        crashed = batch.results[1]
+        assert crashed.error_kind == "WorkerCrashed"
+        assert "died" in crashed.error
+        assert batch.crashes == 1
+        # the respawned worker finished the rest of the batch ...
+        assert batch.results[0].ok and batch.results[2].ok
+        # ... and keeps serving subsequent batches
+        after = svc.run_batch([RunRequest("jacobi", "spf", preset="test",
+                                          tag="ok-3")])
+        assert after.ok
+        assert svc.stats()["crashes"] == 1
+
+
+def test_unknown_variant_fails_structured_not_fatal(service):
+    res = service.run_batch([RunRequest("jacobi", "warp",
+                                        preset="test")]).results[0]
+    assert not res.ok and res.error_kind == "ValueError"
+    assert "warp" in res.error
+
+
+def test_wire_protocol_round_trip(service):
+    server = WireServer(service)
+    server.serve_in_thread()
+    try:
+        with WireClient(server.host, server.port) as client:
+            assert client.hello["workers"] == 2
+            single = client.run(REQUESTS[0])
+            assert single.ok and single.variant == "spf"
+            events = list(client.stream_batch(REQUESTS))
+            kinds = [k for k, _i, _p in events]
+            assert kinds.count("result") == len(REQUESTS)
+            assert kinds[-1] == "batch"
+            wire_batch = events[-1][2]
+            assert wire_batch.ok and wire_batch.runs == len(REQUESTS)
+            cache = ProgramCache()
+            direct = [execute(r, cache) for r in REQUESTS]
+            assert [r.fingerprint() for r in wire_batch.results] \
+                == [r.fingerprint() for r in direct]
+            assert client.stats()["workers"] == 2
+    finally:
+        server.close()
