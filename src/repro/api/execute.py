@@ -87,6 +87,14 @@ def _validate(request: RunRequest) -> None:
             f"racecheck applies to the DSM variants "
             f"{registry.DSM_VARIANTS}, not {request.variant!r} "
             f"(message-passing variants have no shared memory)")
+    if request.readback and request.variant not in registry.DSM_VARIANTS:
+        raise ValueError(
+            f"readback applies to the DSM variants "
+            f"{registry.DSM_VARIANTS}, not {request.variant!r} "
+            f"(only shared arrays have coherent contents to read back)")
+    if request.readback and request.mode != "sim":
+        raise ValueError("readback requires mode='sim' "
+                         "(the analytic model has no arrays)")
 
 
 def _spf_options(spec, request: RunRequest):
@@ -177,6 +185,22 @@ def _execute_model(request: RunRequest, cache: ProgramCache,
     return _replace(res, tag=request.tag, cache_hit=hit)
 
 
+def _wrap_readback(body):
+    """The racecheck harness's coherent-readback wrapper (lazy import:
+    the harness imports apps/compilers this module must not pull in at
+    import time)."""
+    from repro.eval.racecheck import _wrap_with_readback
+    return _wrap_with_readback(body)
+
+
+def _unwrap_readback(result):
+    """Split a readback-wrapped run into per-pid outputs + array hashes."""
+    from repro.eval.racecheck import _hash
+    parts = [out for out, _arrays in result.results]
+    _out0, arrays = result.results[0]
+    return parts, {name: _hash(a) for name, a in sorted(arrays.items())}
+
+
 def _execute_sim(request: RunRequest, cache: ProgramCache,
                  bundle, hit: bool) -> RunResult:
     from repro.apps.common import combine_signatures
@@ -190,15 +214,21 @@ def _execute_sim(request: RunRequest, cache: ProgramCache,
                         cache_hit=hit)
 
     seq_time = _seq_time_for(request, cache)
+    array_hashes = None
 
     if request.variant in ("spf", "spf_opt", "spf_old"):
         from repro.tmk.api import tmk_run
         exe = bundle["exe"]
-        result = tmk_run(request.nprocs, exe.run_on, exe.setup_space,
+        main = _wrap_readback(exe.run_on) if request.readback else exe.run_on
+        result = tmk_run(request.nprocs, main, exe.setup_space,
                          model=machine, gc_epochs=request.gc_epochs,
                          schedule_seed=request.schedule_seed,
                          racecheck=request.racecheck, faults=faults)
-        result.scalars = result.results[0]
+        if request.readback:
+            parts, array_hashes = _unwrap_readback(result)
+            result.scalars = parts[0]
+        else:
+            result.scalars = result.results[0]
         signature = dict(result.scalars)
         dsm = result.dsm_stats
     elif request.variant in ("xhpf", "xhpf_ie"):
@@ -220,11 +250,17 @@ def _execute_sim(request: RunRequest, cache: ProgramCache,
         def main(tmk):
             return spec.hand_tmk(tmk, params)
 
+        if request.readback:
+            main = _wrap_readback(main)
         result = tmk_run(request.nprocs, main, setup, model=machine,
                          gc_epochs=request.gc_epochs,
                          schedule_seed=request.schedule_seed,
                          racecheck=request.racecheck, faults=faults)
-        signature = combine_signatures(result.results)
+        if request.readback:
+            parts, array_hashes = _unwrap_readback(result)
+        else:
+            parts = result.results
+        signature = combine_signatures(parts)
         dsm = result.dsm_stats
     else:                                     # pvme
         from repro.msg.pvme import Pvme
@@ -251,8 +287,11 @@ def _execute_sim(request: RunRequest, cache: ProgramCache,
         categories={k: (v[0], v[1])
                     for k, v in wtraffic.by_category.items()},
         races=getattr(result, "racecheck", None),
+        array_hashes=array_hashes,
         events=getattr(result, "events", 0),
         retransmissions=result.stats.retransmissions,
+        acks=result.stats.acks,
+        dup_suppressed=result.stats.dup_suppressed,
         fault_stats=getattr(result, "fault_stats", None),
         mode="sim", tag=request.tag, cache_hit=hit,
     )

@@ -36,7 +36,7 @@ from typing import Mapping, Optional
 __all__ = ["RUN_SCHEMA", "RunRequest", "RunResult", "BatchResult",
            "fault_plan_to_doc", "fault_plan_from_doc",
            "dsm_stats_to_doc", "dsm_stats_from_doc",
-           "machine_to_doc", "machine_from_doc"]
+           "machine_to_doc", "machine_from_doc", "races_from_doc"]
 
 RUN_SCHEMA = "repro-run/1"
 
@@ -146,14 +146,43 @@ def _fault_stats_from_doc(doc: Optional[Mapping]):
 
 
 def _races_to_doc(races) -> Optional[dict]:
-    """Race verdicts cross the wire as a summary, not the full findings."""
+    """Race verdict as a wire document: summary counts plus findings.
+
+    The findings travel too (as plain ``RaceFinding`` field dicts) so a
+    service worker's race-check run is as informative as a local one —
+    :func:`races_from_doc` reconstructs the live objects on the far side.
+    """
     if races is None:
         return None
     if isinstance(races, Mapping):
         return dict(races)
     return {"ok": bool(races.ok),
             "true_races": len(races.true_races),
-            "false_sharing": len(races.false_sharing)}
+            "false_sharing": len(races.false_sharing),
+            "n_events": races.n_events,
+            "n_dropped": races.n_dropped,
+            "findings": [asdict(f) for f in
+                         list(races.true_races) + list(races.false_sharing)]}
+
+
+def races_from_doc(doc):
+    """Wire document -> ``RaceCheckResult`` (None and live pass through)."""
+    if doc is None:
+        return None
+    from repro.tmk.racecheck import RaceCheckResult, RaceFinding
+    if isinstance(doc, RaceCheckResult):
+        return doc
+    findings = []
+    for f in doc.get("findings", ()):
+        f = dict(f)
+        if f.get("overlap") is not None:
+            f["overlap"] = tuple(f["overlap"])
+        findings.append(RaceFinding(**f))
+    return RaceCheckResult(
+        true_races=[f for f in findings if f.kind == "true-race"],
+        false_sharing=[f for f in findings if f.kind != "true-race"],
+        n_events=int(doc.get("n_events", 0)),
+        n_dropped=int(doc.get("n_dropped", 0)))
 
 
 def _freeze_mapping(value):
@@ -185,6 +214,10 @@ class RunRequest:
     the xhpf family); the non-serializable ``piggyback`` hook cannot cross
     this boundary — drive :func:`repro.compiler.spf.compile_spf` directly
     for that.  ``fault_plan`` is the :func:`fault_plan_to_doc` form.
+    ``readback`` (DSM variants only) appends a barrier-ordered coherent
+    readback of every application array and reports their sha256 hashes
+    on ``RunResult.array_hashes`` — how the chaos/racecheck harnesses
+    judge numeric identity when their runs execute in a remote worker.
     ``tag`` is an opaque client correlation id echoed into the result.
     """
 
@@ -199,6 +232,7 @@ class RunRequest:
     schedule_seed: Optional[int] = None
     seq_time: Optional[float] = None
     racecheck: bool = False
+    readback: bool = False
     fault_plan: Optional[dict] = None       # fault_plan_to_doc form
     tag: Optional[str] = None
 
@@ -274,8 +308,11 @@ class RunResult:
     total_kilobytes: float = 0.0
     categories: dict = field(default_factory=dict)   # window, per category
     races: Optional[object] = None   # RaceCheckResult when racecheck=True
+    array_hashes: Optional[dict] = None    # name -> sha256 when readback=True
     events: int = 0              # simulator events processed (whole run)
     retransmissions: int = 0     # reliable-delivery re-sends (fault runs)
+    acks: int = 0                # reliable-delivery acknowledgements
+    dup_suppressed: int = 0      # duplicate deliveries suppressed
     fault_stats: Optional[object] = None   # FaultStats when faults attached
     mode: str = "sim"            # "sim" (event simulation) or "model"
                                  # (analytic prediction, repro.compiler.model)
@@ -373,10 +410,14 @@ class BatchResult:
 
     results: tuple                       # RunResult, in request order
     wall_s: float = 0.0                  # host seconds for the whole batch
-    workers: int = 0                     # pool size that served it
+    workers: int = 0                     # live workers when the batch ended
     cache_hits: int = 0                  # compiled-program cache verdicts,
     cache_misses: int = 0                # summed over the batch's runs
     crashes: int = 0                     # worker deaths surfaced as errors
+    affinity_hits: int = 0               # dispatches routed to a warm worker
+    steals: int = 0                      # warm-elsewhere work taken by an
+                                         # idle worker (queue imbalance)
+    rejected: int = 0                    # admissions refused (backlog cap)
 
     def __post_init__(self):
         object.__setattr__(self, "results", tuple(self.results))
@@ -407,6 +448,9 @@ class BatchResult:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "crashes": self.crashes,
+            "affinity_hits": self.affinity_hits,
+            "steals": self.steals,
+            "rejected": self.rejected,
             "results": [r.to_json() for r in self.results],
         }
 
@@ -423,7 +467,10 @@ class BatchResult:
                    workers=doc.get("workers", 0),
                    cache_hits=doc.get("cache_hits", 0),
                    cache_misses=doc.get("cache_misses", 0),
-                   crashes=doc.get("crashes", 0))
+                   crashes=doc.get("crashes", 0),
+                   affinity_hits=doc.get("affinity_hits", 0),
+                   steals=doc.get("steals", 0),
+                   rejected=doc.get("rejected", 0))
 
 
 def _replace(result: RunResult, **changes) -> RunResult:

@@ -19,7 +19,7 @@ one-time process spawn into a seconds-long batch would measure startup,
 not service.  The cold (first-pass) wall times are still recorded in
 the artifact for the curious.
 
-It then checks two gates:
+It then checks the gates:
 
 * **bit identity** — every service result's ``fingerprint()`` must equal
   its serial twin's; a worker pool that changes answers is not an
@@ -29,10 +29,20 @@ It then checks two gates:
   machines, so the default SLO is *calibrated to the host*:
   ``0.75 x min(workers, cpu_count)`` — 3.0 for a 4-worker pool on the
   4-core CI runner (the acceptance floor), and proportionally less on
-  smaller hosts where perfect scaling is physically impossible.
+  smaller hosts where perfect scaling is physically impossible;
+* **affinity** — the timed (warm) batch repeats keys the pool has
+  already compiled, so the cache-affine scheduler must report a nonzero
+  affinity hit-rate; zero means dispatch has stopped honouring the
+  per-worker caches;
+* **sweep wall-clock** — a small model-mode ``repro sweep`` grid is run
+  serially and again through the (already warm) pool; the parallel
+  document must be bit-identical to the serial one, and the speedup must
+  clear the test-preset calibrated SLO (2.0 on the 4-core CI runner —
+  the "parallel sweep is at least 2x faster" acceptance floor).
 
-The JSON artifact (``repro-throughput/1``) carries both measurements,
-the per-run documents, and the gate verdict — CI uploads it.
+The JSON artifact (``repro-throughput/2``) carries both measurements,
+the affinity and sweep sections, the per-run documents, and the gate
+verdict — CI uploads it.
 """
 
 from __future__ import annotations
@@ -50,8 +60,14 @@ __all__ = ["THROUGHPUT_SCHEMA", "DEFAULT_REPEATS", "default_slo",
            "build_matrix", "run_throughput", "check_throughput",
            "write_results", "DEFAULT_RESULT_PATH"]
 
-THROUGHPUT_SCHEMA = "repro-throughput/1"
+THROUGHPUT_SCHEMA = "repro-throughput/2"
 DEFAULT_REPEATS = 3
+
+#: the small model-mode grid for the sweep wall-clock measurement —
+#: test-preset model cells are ~0.1-1.5s each, so this stays CI-sized
+#: while leaving enough work for parallelism to show
+SWEEP_APPS = ("jacobi", "mgs")
+SWEEP_NODES = (64, 128)
 DEFAULT_RESULT_PATH = os.path.join("benchmarks", "results",
                                    "BENCH_throughput.json")
 
@@ -131,10 +147,27 @@ def run_throughput(workers: int = 4, repeats: int = DEFAULT_REPEATS,
         cold = svc.run_batch(requests)       # warm: spawn, import, compile
         batch = svc.run_batch(requests)
 
+        if progress:
+            progress(f"sweep wall-clock: {len(SWEEP_APPS)} app(s) x "
+                     f"{len(SWEEP_NODES)} node count(s), serial then "
+                     f"through the warm pool")
+        from repro.eval.sweep import run_sweep
+        t0 = time.perf_counter()
+        sweep_serial = run_sweep(apps=list(SWEEP_APPS), nodes=SWEEP_NODES,
+                                 preset="test")
+        sweep_serial_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sweep_service = run_sweep(apps=list(SWEEP_APPS), nodes=SWEEP_NODES,
+                                  preset="test", service=svc)
+        sweep_service_wall = time.perf_counter() - t0
+
     mismatches = [r.tag for s, r in zip(serial, batch.results)
                   if s.fingerprint() != r.fingerprint()]
     serial_rpm = 60.0 * len(requests) / serial_wall if serial_wall else 0.0
     ratio = (batch.runs_per_min / serial_rpm) if serial_rpm else 0.0
+    sweep_slo = default_slo(workers, "test")
+    sweep_ratio = (sweep_serial_wall / sweep_service_wall
+                   if sweep_service_wall else 0.0)
 
     doc = {
         "schema": THROUGHPUT_SCHEMA,
@@ -157,6 +190,26 @@ def run_throughput(workers: int = 4, repeats: int = DEFAULT_REPEATS,
             "cache_misses": batch.cache_misses,
             "crashes": batch.crashes + cold.crashes,
             "ok": batch.ok and cold.ok,
+        },
+        "affinity": {
+            # the timed batch repeats keys the cold batch compiled, so a
+            # cache-affine scheduler lands a measurable share of them on
+            # their warm worker
+            "hits": batch.affinity_hits,
+            "steals": batch.steals,
+            "hit_rate": round(batch.affinity_hits / len(requests), 3)
+            if requests else 0.0,
+        },
+        "sweep": {
+            "apps": list(SWEEP_APPS),
+            "nodes": list(SWEEP_NODES),
+            "cells": sum(len(e["variants"]) * len(SWEEP_NODES)
+                         for e in sweep_serial["apps"].values()),
+            "serial_wall_s": round(sweep_serial_wall, 4),
+            "service_wall_s": round(sweep_service_wall, 4),
+            "speedup": round(sweep_ratio, 3),
+            "slo": sweep_slo,
+            "bit_identical": sweep_serial == sweep_service,
         },
         "speedup": round(ratio, 3),
         "slo": slo,
@@ -182,6 +235,20 @@ def check_throughput(doc: dict) -> list:
         failures.append(
             f"throughput {doc['speedup']:.2f}x serial is below the "
             f"calibrated SLO {doc['slo']:.2f}x "
+            f"({doc['workers']} worker(s), {doc['cpu_count']} core(s))")
+    if doc["affinity"]["hit_rate"] <= 0.0:
+        failures.append(
+            "affinity hit-rate is zero on a repeat-key batch — the "
+            "scheduler is not routing warm keys back to their workers")
+    if not doc["sweep"]["bit_identical"]:
+        failures.append(
+            "parallel sweep document diverged from the serial sweep — "
+            "a worker pool must not change answers")
+    if doc["sweep"]["speedup"] < doc["sweep"]["slo"]:
+        failures.append(
+            f"parallel sweep {doc['sweep']['speedup']:.2f}x serial "
+            f"wall-clock is below the calibrated SLO "
+            f"{doc['sweep']['slo']:.2f}x "
             f"({doc['workers']} worker(s), {doc['cpu_count']} core(s))")
     return failures
 

@@ -57,6 +57,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="problem size preset (default bench)")
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="retire runs through a worker pool of this "
+                             "size (default 1: serial in-process, "
+                             "bit-for-bit the historical behaviour)")
+
+
 def _parse_machine(pairs):
     """``KEY=VALUE`` pairs -> machine-override dict (RunRequest form)."""
     from dataclasses import fields
@@ -110,7 +117,7 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     results = run_all_variants(args.app, nprocs=args.nprocs,
-                               preset=args.preset)
+                               preset=args.preset, jobs=args.jobs)
     print(f"{args.app} ({PAPER[args.app].problem_size}), "
           f"{args.nprocs} simulated processors, preset {args.preset!r}\n")
     for variant in ("seq", "spf", "tmk", "xhpf", "pvme"):
@@ -150,6 +157,7 @@ def cmd_sweep(args) -> int:
     doc = run_sweep(apps=args.apps or None, variants=args.variants or None,
                     nodes=tuple(args.nodes), preset=args.preset,
                     machine=machine_from_doc(_parse_machine(args.machine)),
+                    jobs=args.jobs,
                     progress=(None if args.quiet else
                               lambda m: print(m, file=sys.stderr)))
     print(format_sweep_tables(doc))
@@ -186,7 +194,8 @@ def cmd_racecheck(args) -> int:
     from repro.eval.racecheck import racecheck_app
 
     report = racecheck_app(args.app, args.variant, seeds=args.seeds,
-                           nprocs=args.nprocs, preset=args.preset)
+                           nprocs=args.nprocs, preset=args.preset,
+                           jobs=args.jobs)
     lookup = None
     if args.variant.startswith("spf"):
         spec = get_app(args.app)
@@ -214,7 +223,7 @@ def cmd_chaos(args) -> int:
                    stalls=() if args.no_stall else plan.stalls)
     report = chaos_sweep(apps=args.apps, variants=args.variants,
                          seeds=args.seeds, nprocs=args.nprocs,
-                         preset=args.preset, plan=plan,
+                         preset=args.preset, plan=plan, jobs=args.jobs,
                          progress=(None if args.quiet else
                                    lambda m: print(m, file=sys.stderr)))
     print(report.format())
@@ -314,6 +323,15 @@ def _bench_throughput(args) -> int:
     print(f"speedup: {doc['speedup']:.2f}x serial "
           f"(calibrated SLO {doc['slo']:.2f}x on {doc['cpu_count']} "
           f"core(s)); bit-identical: {doc['bit_identical']}")
+    aff = doc["affinity"]
+    print(f"affinity: {aff['hit_rate']:.0%} hit-rate "
+          f"({aff['hits']} hit(s), {aff['steals']} steal(s)) "
+          f"on the repeat-key batch")
+    sw = doc["sweep"]
+    print(f"sweep:   {sw['speedup']:.2f}x serial wall-clock "
+          f"({sw['serial_wall_s']:.2f}s -> {sw['service_wall_s']:.2f}s, "
+          f"{sw['cells']} cell(s), SLO {sw['slo']:.2f}x); "
+          f"bit-identical: {sw['bit_identical']}")
     print(f"results -> {path}")
     if args.no_gate:
         return 0
@@ -328,7 +346,8 @@ def cmd_serve(args) -> int:
 
     service = RunService(workers=args.workers,
                          runner=args.runner or DEFAULT_RUNNER,
-                         cache_entries=args.cache_entries)
+                         cache_entries=args.cache_entries,
+                         max_backlog=args.max_backlog)
     try:
         if args.port is None:
             verdict = serve_stdio(service, sys.stdin, sys.stdout)
@@ -388,6 +407,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("compare", help="run all variants of an application")
     p.add_argument("app", choices=APPS)
     _add_common(p)
+    _add_jobs(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -418,6 +438,7 @@ def main(argv=None) -> int:
                    help="write the sweep document as JSON to this path")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-point progress on stderr")
+    _add_jobs(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("explain", help="print the compilers' decisions")
@@ -439,6 +460,7 @@ def main(argv=None) -> int:
                    choices=list(PRESETS),
                    help="problem size preset (default test: the harness "
                         "runs the app once per seed)")
+    _add_jobs(p)
     p.set_defaults(fn=cmd_racecheck)
 
     p = sub.add_parser(
@@ -467,6 +489,7 @@ def main(argv=None) -> int:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-run progress on stderr")
     _add_common(p)
+    _add_jobs(p)
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
@@ -519,6 +542,10 @@ def main(argv=None) -> int:
     p.add_argument("--cache-entries", type=int, default=64,
                    help="compiled-program cache entries per worker "
                         "(default 64)")
+    p.add_argument("--max-backlog", type=int, default=None,
+                   help="admission-control cap on queued + in-flight "
+                        "requests; beyond it new requests fail fast with "
+                        "error_kind=Rejected (default: unbounded)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

@@ -27,7 +27,7 @@ the offending cell.  Command line::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Optional, Sequence, Union
 
 from repro.api.registry import DSM_VARIANTS as _DSM_VARIANTS
@@ -179,12 +179,22 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
                 nprocs: int = 8, preset: str = "bench",
                 model: Optional[MachineModel] = None,
                 plan: Optional[FaultPlan] = None,
+                jobs: int = 1, service=None,
                 progress=None) -> ChaosReport:
     """Sweep fault seeds over app×variant pairs and judge the numerics.
 
     ``seeds`` is a count (seeds ``0..K-1``) or an explicit sequence.
     ``plan`` supplies the fault rates/schedule (default:
     :meth:`FaultPlan.default`); each seed runs under ``plan.with_seed``.
+
+    ``jobs > 1`` (or ``service``) retires every (pair, seed) cell — and
+    each pair's fault-free baseline — through a
+    :class:`~repro.serve.RunService` pool; DSM cells use the request's
+    ``readback`` to carry coherent array hashes back across the process
+    boundary, so the verdicts are judged on exactly the same evidence as
+    the serial path.  (One reporting difference: parallel cells report
+    the measured-window time, the unified result's ``time``, where the
+    serial path reports whole-run time.)
     """
     from repro.eval.constants import APPS
 
@@ -198,6 +208,10 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
     report = ChaosReport(
         preset=preset, nprocs=nprocs, seeds=seed_list,
         plan=fault_plan_to_doc(plan))
+
+    if jobs > 1 or service is not None:
+        return _chaos_parallel(report, apps, variants, seed_list, nprocs,
+                               preset, model, plan, jobs, service, progress)
 
     for app in apps:
         spec = get_app(app)
@@ -263,5 +277,93 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
                                     else 0),
                     acks=(net.acks if net is not None else 0),
                     faults=fstats.as_dict() if fstats is not None else {},
+                    mismatches=mismatches))
+    return report
+
+
+def _chaos_parallel(report: ChaosReport, apps, variants, seed_list,
+                    nprocs, preset, model, plan, jobs, service,
+                    progress) -> ChaosReport:
+    """Retire the whole chaos grid as one batch through a worker pool.
+
+    Baselines and faulted cells are independent requests; DSM requests
+    set ``readback`` so the coherent array hashes — the serial path's
+    evidence — travel back on ``RunResult.array_hashes``.  Failures are
+    recorded on ``report.errors`` (a failed baseline voids its pair's
+    cells), mirroring the serial harness's try/except per cell.
+    """
+    from repro.eval.parallel import run_requests
+
+    machine = machine_to_doc(model)
+    requests, labels = [], []      # label: (app, variant, seed|None)
+    for app in apps:
+        for variant in variants:
+            base = RunRequest(
+                app=app, variant=variant, nprocs=nprocs, preset=preset,
+                machine=machine, seq_time=1.0,
+                readback=(variant in _DSM_VARIANTS))
+            requests.append(base)
+            labels.append((app, variant, None))
+            for seed in seed_list:
+                requests.append(_dc_replace(
+                    base,
+                    fault_plan=fault_plan_to_doc(plan.with_seed(seed))))
+                labels.append((app, variant, seed))
+
+    def describe(r: RunRequest) -> str:
+        what = (f"fault seed {r.fault_plan['seed']}" if r.fault_plan
+                else "fault-free baseline")
+        return f"chaos {r.app}/{r.variant}: {what}"
+
+    results = run_requests(requests, jobs=jobs, service=service,
+                           progress=progress, describe=describe,
+                           raise_on_error=False)
+    by_label = dict(zip(labels, results))
+
+    for app in apps:
+        for variant in variants:
+            base = by_label[(app, variant, None)]
+            if not base.ok:
+                report.errors.append(
+                    (app, variant, None,
+                     f"baseline failed: {base.error_kind}: {base.error}"))
+                continue
+            for seed in seed_list:
+                res = by_label[(app, variant, seed)]
+                if not res.ok:
+                    report.errors.append(
+                        (app, variant, seed,
+                         f"{res.error_kind}: {res.error}"))
+                    continue
+                mismatches: list = []
+                if variant in _DSM_VARIANTS:
+                    want = base.array_hashes or {}
+                    got = res.array_hashes or {}
+                    arrays_ok = want == got
+                    if not arrays_ok:
+                        mismatches += [
+                            f"array {n!r} diverged"
+                            for n in sorted(set(want) | set(got))
+                            if want.get(n) != got.get(n)]
+                    # lock-grant order is timing-dependent, so folded
+                    # reduction scalars are close, not bit-stable
+                    scalars_ok = signatures_close(res.signature,
+                                                  base.signature)
+                else:
+                    arrays_ok = True
+                    scalars_ok = res.signature == base.signature
+                if not scalars_ok:
+                    mismatches.append("scalar signature diverged")
+                fstats = res.fault_stats
+                report.cells.append(ChaosCell(
+                    app=app, variant=variant, seed=seed,
+                    ok=arrays_ok and scalars_ok,
+                    arrays_identical=arrays_ok, scalars_ok=scalars_ok,
+                    time=res.time,
+                    retransmissions=res.retransmissions,
+                    dup_suppressed=res.dup_suppressed,
+                    acks=res.acks,
+                    faults=(fstats.as_dict() if fstats is not None
+                            else {}),
                     mismatches=mismatches))
     return report

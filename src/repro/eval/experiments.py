@@ -105,24 +105,61 @@ def run_variant(app: str, variant: str, nprocs: int = 8,
 def run_all_variants(app: str, nprocs: int = 8, preset: str = "bench",
                      variants: Optional[list] = None,
                      model: Optional[MachineModel] = None,
-                     cache: Optional[ProgramCache] = None) -> dict:
+                     cache: Optional[ProgramCache] = None,
+                     jobs: int = 1, service=None) -> dict:
     """Run ``variants`` (default: the four of Figures 1/2 plus seq).
 
     One compiled-program cache spans the batch, and the sequential
     oracle's measured time seeds every later variant's speedup — the same
     contract as before, now through the unified API.
+
+    ``jobs > 1`` (or ``service``) retires the variants through a
+    :class:`~repro.serve.RunService` pool in two phases: the sequential
+    oracle first (alone — its measured time seeds the others' speedups,
+    exactly as the serial loop threads it), then the remaining variants
+    concurrently.  Results are keyed in ``variants`` order either way.
     """
     if variants is None:
         variants = list(FIGURE_VARIANTS)
-    cache = cache if cache is not None else ProgramCache()
     machine = machine_to_doc(model)
-    out: dict = {}
-    seq_time = None
-    for variant in variants:
-        res = execute(RunRequest(app=app, variant=variant, nprocs=nprocs,
-                                 preset=preset, machine=machine,
-                                 seq_time=seq_time), cache)
-        out[variant] = res
-        if variant == "seq":
-            seq_time = res.time
-    return out
+    if jobs <= 1 and service is None:
+        cache = cache if cache is not None else ProgramCache()
+        out: dict = {}
+        seq_time = None
+        for variant in variants:
+            res = execute(RunRequest(app=app, variant=variant,
+                                     nprocs=nprocs, preset=preset,
+                                     machine=machine, seq_time=seq_time),
+                          cache)
+            out[variant] = res
+            if variant == "seq":
+                seq_time = res.time
+        return out
+
+    from repro.eval.parallel import run_requests
+    own = None
+    if service is None:
+        from repro.serve import RunService
+        service = own = RunService(workers=jobs)
+    try:
+        out = {}
+        seq_time = None
+        if "seq" in variants:
+            (seq_res,) = run_requests(
+                [RunRequest(app=app, variant="seq", nprocs=nprocs,
+                            preset=preset, machine=machine)],
+                service=service)
+            out["seq"] = seq_res
+            seq_time = seq_res.time
+        rest = [v for v in variants if v != "seq"]
+        results = run_requests(
+            [RunRequest(app=app, variant=v, nprocs=nprocs, preset=preset,
+                        machine=machine, seq_time=seq_time) for v in rest],
+            service=service)
+        for variant, res in zip(rest, results):
+            out[variant] = res
+        return {v: out[v] for v in variants}
+    finally:
+        if own is not None:
+            own.close()
+

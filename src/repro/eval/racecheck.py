@@ -148,16 +148,35 @@ def _wrap_with_readback(body):
     return main
 
 
+def _merge_findings(report: RacecheckReport, races, seen: set) -> None:
+    """Union race findings across seeds, deduplicated by description."""
+    for f in list(races.true_races) + list(races.false_sharing):
+        key = f.describe()
+        if key in seen:
+            continue
+        seen.add(key)
+        (report.true_races if f.kind == "true-race"
+         else report.false_sharing).append(f)
+
+
 def racecheck_app(app: str, variant: str = "spf",
                   seeds: Union[int, Sequence] = 5,
                   nprocs: int = 8, preset: str = "test",
                   model: Optional[MachineModel] = None,
-                  gc_epochs: Optional[int] = 8) -> RacecheckReport:
+                  gc_epochs: Optional[int] = 8,
+                  jobs: int = 1, service=None) -> RacecheckReport:
     """Race-check ``app`` under ``variant`` across ``seeds`` interleavings.
 
     ``seeds`` is a count (seeds ``0..K-1``) or an explicit sequence; a
     seed of ``None`` means the unperturbed historical order.  Only DSM
     variants apply (``spf``/``spf_opt``/``spf_old``/``tmk``).
+
+    ``jobs > 1`` (or ``service``) runs the first seed locally — the
+    sequential-oracle array comparison needs the *contents*, not just
+    hashes — and the remaining seeds through a
+    :class:`~repro.serve.RunService` pool, whose results carry the same
+    coherent array hashes (``readback``) and race findings
+    (``races_from_doc``) the local run produces.
     """
     if variant not in _DSM_VARIANTS:
         raise ValueError(
@@ -193,11 +212,15 @@ def racecheck_app(app: str, variant: str = "spf",
     if not seed_list:
         raise ValueError("racecheck needs at least one schedule seed "
                          "(a zero-run verdict would be vacuously OK)")
+    parallel = jobs > 1 or service is not None
+    local_seeds = seed_list[:1] if parallel else seed_list
+    remote_seeds = seed_list[1:] if parallel else []
+
     report = RacecheckReport(app=app, variant=variant, nprocs=nprocs,
                              preset=preset)
     seen_findings: set = set()
     first_arrays: Optional[dict] = None
-    for seed in seed_list:
+    for seed in local_seeds:
         run = tmk_run(nprocs, main, setup, model=model, gc_epochs=gc_epochs,
                       schedule_seed=seed, racecheck=True)
         parts = [r[0] for r in run.results]
@@ -215,13 +238,34 @@ def racecheck_app(app: str, variant: str = "spf",
             first_arrays = arrays
         elif sr.hashes != report.runs[0].hashes:
             report.deterministic = False
-        for f in run.racecheck.true_races + run.racecheck.false_sharing:
-            key = f.describe()
-            if key in seen_findings:
-                continue
-            seen_findings.add(key)
-            (report.true_races if f.kind == "true-race"
-             else report.false_sharing).append(f)
+        _merge_findings(report, run.racecheck, seen_findings)
+
+    if remote_seeds:
+        from repro.api.types import (RunRequest, machine_to_doc,
+                                     races_from_doc)
+        from repro.eval.parallel import run_requests
+        requests = [RunRequest(app=app, variant=variant, nprocs=nprocs,
+                               preset=preset, machine=machine_to_doc(model),
+                               gc_epochs=gc_epochs, schedule_seed=seed,
+                               racecheck=True, readback=True, seq_time=1.0)
+                    for seed in remote_seeds]
+        results = run_requests(
+            requests, jobs=jobs, service=service,
+            describe=lambda r: (f"racecheck {r.app}/{r.variant} "
+                                f"seed {r.schedule_seed}"))
+        for seed, res in zip(remote_seeds, results):
+            races = races_from_doc(res.races)
+            sr = SeedRun(
+                seed=seed, time=res.time, races=races,
+                hashes=dict(res.array_hashes or {}),
+                signature=dict(res.signature),
+                scalars_close=(not seq_scalars
+                               or signatures_close(res.signature,
+                                                   seq_scalars)))
+            report.runs.append(sr)
+            if sr.hashes != report.runs[0].hashes:
+                report.deterministic = False
+            _merge_findings(report, races, seen_findings)
 
     # vs the sequential oracle: bitwise first, tolerance fallback
     for name, got in sorted((first_arrays or {}).items()):

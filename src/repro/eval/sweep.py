@@ -14,17 +14,17 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Optional
 
-from repro.api.execute import ProgramCache, execute
 from repro.api.types import RunRequest, machine_to_doc
 from repro.apps.common import get_app
 from repro.compiler.seq import sequential_time
 from repro.eval.constants import APPS
+from repro.eval.parallel import run_requests
 from repro.sim.machine import SP2_MODEL, MachineModel
 
 __all__ = ["SWEEP_SCHEMA", "DEFAULT_NODES", "DEFAULT_SWEEP_VARIANTS",
            "run_sweep", "format_sweep_tables"]
 
-SWEEP_SCHEMA = "repro-sweep/2"
+SWEEP_SCHEMA = "repro-sweep/3"
 DEFAULT_NODES = (8, 16, 64, 256, 1024)
 DEFAULT_SWEEP_VARIANTS = ("spf", "spf_old", "xhpf", "xhpf_ie")
 
@@ -35,12 +35,21 @@ def run_sweep(apps: Optional[list] = None,
               preset: str = "test",
               machine: Optional[MachineModel] = None,
               gc_epochs: Optional[int] = 8,
+              jobs: int = 1,
+              service=None,
               progress=None) -> dict:
     """Model every (app, variant, N) combination; returns the JSON doc.
 
+    ``jobs > 1`` (or a caller-supplied ``service``) retires the grid
+    through a :class:`~repro.serve.RunService` worker pool; rows land in
+    deterministic request order either way, and the document is
+    **bit-identical** to a serial run — requests carry no tag or other
+    per-submission state, so their fingerprints cannot diverge (the CI
+    parallel-sweep smoke asserts this against the serial golden).
+
     The document is schema-stable (``tests/test_sweep_schema.py`` pins it):
 
-    * ``schema`` — ``"repro-sweep/2"``
+    * ``schema`` — ``"repro-sweep/3"``
     * ``preset``, ``machine`` (full parameter set), ``nodes``, ``variants``
     * ``apps[app]`` — ``seq_time`` plus per-variant lists of per-N rows.
       Each row is the deterministic (fingerprint) form of the unified
@@ -58,24 +67,27 @@ def run_sweep(apps: Optional[list] = None,
         "variants": variants,
         "apps": {},
     }
-    cache = ProgramCache()
     machine_doc = machine_to_doc(mach)
+    requests = []
+    slots = []                  # (app, variant, node index) per request
     for app in apps:
         spec = get_app(app)
         seq_time = sequential_time(spec.build_program(spec.params(preset)))
         entry: dict = {"seq_time": seq_time, "variants": {}}
         for variant in variants:
-            rows = []
-            for n in nodes:
-                if progress:
-                    progress(f"model {app} {variant} n={n}")
-                res = execute(RunRequest(
+            entry["variants"][variant] = [None] * len(nodes)
+            for i, n in enumerate(nodes):
+                requests.append(RunRequest(
                     app=app, variant=variant, nprocs=int(n), preset=preset,
                     mode="model", machine=machine_doc, seq_time=seq_time,
-                    gc_epochs=gc_epochs), cache)
-                rows.append(res.fingerprint())
-            entry["variants"][variant] = rows
+                    gc_epochs=gc_epochs))
+                slots.append((app, variant, i))
         doc["apps"][app] = entry
+    results = run_requests(
+        requests, jobs=jobs, service=service, progress=progress,
+        describe=lambda r: f"model {r.app} {r.variant} n={r.nprocs}")
+    for (app, variant, i), res in zip(slots, results):
+        doc["apps"][app]["variants"][variant][i] = res.fingerprint()
     return doc
 
 

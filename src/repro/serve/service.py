@@ -20,6 +20,16 @@ while holding it would poison the queue for the whole pool.  A simplex
 pipe has a single writer, so a death can only sever that worker's own
 channel; the parent observes EOF on it the moment the process is gone.
 
+Dispatch is **cache-affine**: each worker's compiled-program cache is
+mirrored parent-side as a warm-key set keyed on
+:meth:`RunRequest.cache_key`, a repeat key prefers the worker that
+already compiled it (counted as an ``affinity_hit``), and an idle worker
+facing only warm-elsewhere work steals the oldest backlog entry once the
+queue reaches ``steal_threshold`` — affinity never serializes a batch.
+``max_backlog`` caps admitted work: overflow requests come back at once
+as structured ``error_kind="Rejected"`` results instead of queueing
+without bound.
+
 Failure surface — the contract the e2e tests pin:
 
 * an exception inside a run returns a structured ``ok=False``
@@ -44,16 +54,20 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time as _time
-from collections import deque
+from collections import OrderedDict, deque
 from multiprocessing import connection as _mpc
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.api.types import BatchResult, RunRequest, RunResult
 from repro.serve.worker import DEFAULT_RUNNER, worker_main
 
-__all__ = ["RunService", "DEFAULT_WORKERS"]
+__all__ = ["RunService", "DEFAULT_WORKERS", "DEFAULT_STEAL_THRESHOLD"]
 
 DEFAULT_WORKERS = 4
+
+#: backlog depth at which an idle worker takes work that is warm on a
+#: *busy* worker rather than waiting for it — bounds queue imbalance
+DEFAULT_STEAL_THRESHOLD = 2
 
 _POLL_S = 0.1      # fallback liveness-poll period (EOF is the fast path)
 
@@ -64,28 +78,57 @@ class RunService:
     ``runner`` is a ``"module:attr"`` dotted path resolved inside each
     worker (tests inject failing/crashing runners through it); the
     default executes through :func:`repro.api.execute`.
+
+    Dispatch is **cache-affine**: the parent mirrors each worker's
+    compiled-program cache as a warm-key set (keyed on
+    :meth:`RunRequest.cache_key`, LRU-capped at ``cache_entries`` like
+    the worker's own cache) and prefers routing a repeat key back to the
+    worker that already compiled it.  Affinity never serializes a batch:
+    an idle worker facing only warm-elsewhere work steals the oldest
+    entry once the backlog reaches ``steal_threshold``.  Routing
+    verdicts are counted (``affinity_hits``, ``steals``) and surfaced on
+    :meth:`stats` and every :class:`BatchResult`.
+
+    ``max_backlog`` adds admission control: when set, requests beyond
+    that many in flight (queued + assigned) are refused immediately with
+    a structured ``ok=False`` result (``error_kind="Rejected"``) instead
+    of queueing without bound.
     """
 
     def __init__(self, workers: int = DEFAULT_WORKERS,
                  runner: str = DEFAULT_RUNNER,
                  respawn: bool = True,
                  cache_entries: int = 64,
-                 start_method: str = "spawn"):
+                 start_method: str = "spawn",
+                 max_backlog: Optional[int] = None,
+                 steal_threshold: int = DEFAULT_STEAL_THRESHOLD):
         if workers < 1:
             raise ValueError("RunService needs at least one worker")
+        if steal_threshold < 1:
+            raise ValueError("steal_threshold must be at least 1")
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError("max_backlog must be at least 1 (or None "
+                             "for unbounded admission)")
         self.workers = workers
         self.runner = runner
         self.respawn = respawn
         self.cache_entries = cache_entries
+        self.max_backlog = max_backlog
+        self.steal_threshold = steal_threshold
         self._ctx = mp.get_context(start_method)
         self._procs: dict = {}           # worker_id -> Process
         self._task_conns: dict = {}      # worker_id -> parent write end
         self._result_conns: dict = {}    # worker_id -> parent read end
         self._assigned: dict = {}        # worker_id -> seq it is running
         self._cache_stats: dict = {}     # worker_id -> last-seen stats
+        self._warm: dict = {}            # worker_id -> OrderedDict of keys
+        self._keys: dict = {}            # seq -> RunRequest.cache_key()
         self._next_worker = 0
         self._next_seq = 0
         self._crashes = 0
+        self._affinity_hits = 0
+        self._steals = 0
+        self._rejections = 0
         self._closed = False
         for _ in range(workers):
             self._spawn()
@@ -113,8 +156,9 @@ class RunService:
         return wid
 
     def _discard(self, wid: int) -> None:
-        """Forget a dead worker's process and pipes."""
+        """Forget a dead worker's process, pipes and warm-key set."""
         self._procs.pop(wid, None)
+        self._warm.pop(wid, None)
         for conns in (self._task_conns, self._result_conns):
             conn = conns.pop(wid, None)
             if conn is not None:
@@ -123,17 +167,81 @@ class RunService:
     def _idle_workers(self) -> list:
         return [wid for wid in self._procs if wid not in self._assigned]
 
+    def _note_warm(self, wid: int, key) -> None:
+        """Record that ``wid``'s cache now holds ``key`` (LRU, mirroring
+        the worker's own ``cache_entries``-bounded ProgramCache)."""
+        if key is None:
+            return
+        warm = self._warm.setdefault(wid, OrderedDict())
+        warm[key] = None
+        warm.move_to_end(key)
+        while len(warm) > self.cache_entries:
+            warm.popitem(last=False)
+
+    def _pick(self, idle: list, backlog: deque):
+        """Choose ``(worker, seq, verdict)`` honouring cache affinity.
+
+        Scanning the backlog oldest-first:
+
+        1. a queued key warm on an idle worker -> that worker (``hit``);
+        2. a queued key warm on *no* live worker -> the idle worker with
+           the fewest warm keys (``cold`` — spreads the key space);
+        3. everything queued is warm on busy workers only: take the
+           oldest entry anyway once the backlog has reached
+           ``steal_threshold`` (``steal``), else ``None`` — defer, and
+           let the warm worker come back for it.  Deferral cannot stall:
+           the warm worker is live and busy, so its completion (or its
+           death, which clears its warm set) re-triggers dispatch.
+        """
+        for seq in backlog:
+            key = self._keys.get(seq)
+            if key is None:
+                continue
+            for wid in idle:
+                if key in self._warm.get(wid, ()):
+                    return wid, seq, "hit"
+        for seq in backlog:
+            key = self._keys.get(seq)
+            if key is None or not any(key in warm
+                                      for warm in self._warm.values()):
+                wid = min(idle, key=lambda w: len(self._warm.get(w, ())))
+                return wid, seq, "cold"
+        if len(backlog) >= self.steal_threshold:
+            return idle[0], backlog[0], "steal"
+        return None
+
     def _dispatch(self, backlog: deque, pending: dict) -> None:
         """Hand queued work to idle workers (assignment recorded first)."""
-        for wid in self._idle_workers():
-            if not backlog:
+        while backlog:
+            idle = self._idle_workers()
+            if not idle:
                 return
-            seq = backlog.popleft()
+            pick = self._pick(idle, backlog)
+            if pick is None:
+                return         # all queued keys warm on busy workers
+            wid, seq, verdict = pick
+            backlog.remove(seq)
+            if verdict == "hit":
+                self._affinity_hits += 1
+            elif verdict == "steal":
+                self._steals += 1
             self._assigned[wid] = seq
+            # record the key optimistically: the worker compiles it on
+            # arrival, and duplicate cold keys later in the backlog now
+            # route to this worker instead of compiling twice
+            self._note_warm(wid, self._keys.get(seq))
             try:
                 self._task_conns[wid].send(("run", seq, pending[seq]))
             except (BrokenPipeError, OSError):
-                pass           # already dead: _reap fails the assignment
+                # the worker died before it ever saw this request: put
+                # the request back at the head of the queue and reap the
+                # corpse now — waiting for the liveness poll would park
+                # the request on a dead worker for a whole poll period,
+                # and failing it as WorkerCrashed would blame a request
+                # the worker never received
+                del self._assigned[wid]
+                backlog.appendleft(seq)
+                self._reap_worker(wid, pending)   # respawns if enabled
 
     def _fail_assignment(self, wid: int, proc, pending: dict) -> list:
         seq = self._assigned.pop(wid, None)
@@ -191,18 +299,37 @@ class RunService:
         Accepts :class:`RunRequest` objects or already-serialized docs.
         Single-consumer: concurrent ``stream`` calls must be serialized
         by the caller (the wire layer holds a lock around this).
+
+        When ``max_backlog`` is set, requests beyond that many in flight
+        are not queued: they yield immediately as structured rejections
+        (``ok=False``, ``error_kind="Rejected"``).
         """
         if self._closed:
             raise RuntimeError("RunService is closed")
         index_of: dict = {}
         pending: dict = {}
         backlog: deque = deque()
+        rejected: list = []
         for request in requests:
+            doc = self._as_doc(request)
             seq = self._next_seq
             self._next_seq += 1
             index_of[seq] = len(index_of)
-            pending[seq] = self._as_doc(request)
+            if self.max_backlog is not None and \
+                    len(backlog) + len(self._assigned) >= self.max_backlog:
+                self._rejections += 1
+                rejected.append((seq, RunResult.failure(
+                    RunRequest.from_json(doc),
+                    error=(f"admission refused: {self.max_backlog} "
+                           f"request(s) already in flight "
+                           f"(the service's max_backlog cap)"),
+                    error_kind="Rejected")))
+                continue
+            pending[seq] = doc
+            self._keys[seq] = RunRequest.from_json(doc).cache_key()
             backlog.append(seq)
+        for seq, result in rejected:
+            yield index_of[seq], result
         self._dispatch(backlog, pending)
         while pending:
             wid_of = {conn: wid
@@ -223,30 +350,43 @@ class RunService:
                 self._cache_stats[wid] = cache_stats
                 if seq in pending:
                     pending.pop(seq)
+                    self._keys.pop(seq, None)
                     yield index_of[seq], RunResult.from_json(doc)
             if not ready:
                 failed.extend(self._reap(pending, backlog))
             for seq, result in failed:
                 pending.pop(seq, None)
+                self._keys.pop(seq, None)
                 yield index_of[seq], result
             self._dispatch(backlog, pending)
+
+    def _counters(self) -> dict:
+        """Snapshot of the monotonic scheduling counters (for deltas)."""
+        return {"crashes": self._crashes,
+                "affinity_hits": self._affinity_hits,
+                "steals": self._steals,
+                "rejections": self._rejections}
 
     def run_batch(self, requests: Iterable) -> BatchResult:
         """Run a batch; return ordered results plus service counters."""
         docs = [self._as_doc(r) for r in requests]
         t0 = _time.perf_counter()
-        crashes_before = self._crashes
+        before = self._counters()
         results: list = [None] * len(docs)
         for idx, result in self.stream(docs):
             results[idx] = result
         wall = _time.perf_counter() - t0
+        delta = {k: v - before[k] for k, v in self._counters().items()}
         return BatchResult(
             results=tuple(results),
             wall_s=round(wall, 6),
-            workers=self.workers,
+            workers=len(self._procs),
             cache_hits=sum(1 for r in results if r.cache_hit),
             cache_misses=sum(1 for r in results if r.cache_hit is False),
-            crashes=self._crashes - crashes_before)
+            crashes=delta["crashes"],
+            affinity_hits=delta["affinity_hits"],
+            steals=delta["steals"],
+            rejected=delta["rejections"])
 
     def submit(self, requests: Iterable) -> BatchResult:
         """Alias of :meth:`run_batch` (symmetry with the wire protocol)."""
@@ -254,6 +394,12 @@ class RunService:
 
     # ------------------------------------------------------------------ #
     # observability / lifecycle
+
+    @staticmethod
+    def _key_label(key: tuple) -> str:
+        """Compact JSON-safe label of a cache key for stats()."""
+        app, variant, preset, nprocs, mode = key[:5]
+        return f"{app}:{variant}:{preset}:n{nprocs}:{mode}"
 
     def stats(self) -> dict:
         per_worker = {str(wid): stats
@@ -265,6 +411,15 @@ class RunService:
                 "hits": sum(s["hits"] for s in per_worker.values()),
                 "misses": sum(s["misses"] for s in per_worker.values()),
                 "per_worker": per_worker,
+            },
+            "scheduler": {
+                "affinity_hits": self._affinity_hits,
+                "steals": self._steals,
+                "rejections": self._rejections,
+                "max_backlog": self.max_backlog,
+                "steal_threshold": self.steal_threshold,
+                "warm_keys": {str(wid): [self._key_label(k) for k in warm]
+                              for wid, warm in sorted(self._warm.items())},
             },
         }
 

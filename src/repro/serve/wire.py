@@ -77,21 +77,26 @@ def _handle(service, msg: dict, emit, lock: threading.Lock) -> str:
         results = [None] * len(requests)
         import time as _time
         t0 = _time.perf_counter()
-        crashes0 = service._crashes
         with lock:
+            before = service._counters()
             for index, result in service.stream(requests):
                 results[index] = result
                 emit({"op": "result", "id": msg.get("id"), "index": index,
                       "result": result.to_json()})
-            crashes = service._crashes - crashes0
+            delta = {k: v - before[k]
+                     for k, v in service._counters().items()}
+            live = len(service._procs)
         batch = BatchResult(
             results=tuple(results),
             wall_s=round(_time.perf_counter() - t0, 6),
-            workers=service.workers,
+            workers=live,
             cache_hits=sum(1 for r in results if r and r.cache_hit),
             cache_misses=sum(1 for r in results
                              if r and r.cache_hit is False),
-            crashes=crashes)
+            crashes=delta["crashes"],
+            affinity_hits=delta["affinity_hits"],
+            steals=delta["steals"],
+            rejected=delta["rejections"])
         emit({"op": "batch-done", "id": msg.get("id"),
               "batch": batch.to_json()})
         return ""
