@@ -40,9 +40,19 @@ It then checks the gates:
   clear the test-preset calibrated SLO (2.0 on the 4-core CI runner —
   the "parallel sweep is at least 2x faster" acceptance floor).
 
-The JSON artifact (``repro-throughput/2``) carries both measurements,
-the affinity and sweep sections, the per-run documents, and the gate
-verdict — CI uploads it.
+With ``--fleet HOST:PORT`` (repeatable), the same warm batch is also
+measured through a :class:`~repro.serve.FleetService` over those remote
+``repro serve --tcp`` hosts: fleet runs/min vs the single-host pool,
+per-host affinity hit rates from the cache-affine host router, and —
+the non-negotiable — bit-identical fingerprints against the serial
+baseline.  The fleet gates check identity, zero host loss, and a
+nonzero warm-batch affinity hit rate; runs/min vs a *local* pool is
+recorded but not gated (remote hosts' hardware is not the bench
+host's).
+
+The JSON artifact (``repro-throughput/3``) carries both measurements,
+the affinity, sweep and (when requested) fleet sections, the per-run
+documents, and the gate verdict — CI uploads it.
 """
 
 from __future__ import annotations
@@ -60,7 +70,7 @@ __all__ = ["THROUGHPUT_SCHEMA", "DEFAULT_REPEATS", "default_slo",
            "build_matrix", "run_throughput", "check_throughput",
            "write_results", "DEFAULT_RESULT_PATH"]
 
-THROUGHPUT_SCHEMA = "repro-throughput/2"
+THROUGHPUT_SCHEMA = "repro-throughput/3"
 DEFAULT_REPEATS = 3
 
 #: the small model-mode grid for the sweep wall-clock measurement —
@@ -118,11 +128,61 @@ def build_matrix(preset: str = "test", nprocs: int = 8,
             for name, app, variant in BENCH_MATRIX]
 
 
+def _measure_fleet(hosts: list, requests: list, serial: list,
+                   service_rpm: float, progress=None) -> dict:
+    """The ``--fleet`` section: the warm batch across remote hosts."""
+    from repro.serve import FleetService
+
+    if progress:
+        progress(f"fleet: same batch across {len(hosts)} remote host(s) "
+                 f"(warm batch + timed batch)")
+    with FleetService(hosts) as fleet:
+        cold = fleet.run_batch(requests)      # warm the remote caches
+        batch = fleet.run_batch(requests)
+        stats = fleet.stats()["fleet"]
+        live_workers = fleet.live_workers()
+
+    mismatches = [r.tag for s, r in zip(serial, batch.results)
+                  if s.fingerprint() != r.fingerprint()]
+    rpm = batch.runs_per_min
+    per_host = {}
+    for label, snap in stats["hosts"].items():
+        per_host[label] = {
+            "runs": snap["runs"],
+            "affinity_hits": snap["affinity_hits"],
+            "hit_rate": (round(snap["affinity_hits"] / snap["runs"], 3)
+                         if snap["runs"] else 0.0),
+        }
+    return {
+        "hosts": list(stats["hosts"]),
+        "live_workers": live_workers,
+        "wall_s": batch.wall_s,
+        "cold_wall_s": cold.wall_s,
+        "runs_per_min": round(rpm, 2),
+        "vs_service": round(rpm / service_rpm, 3) if service_rpm else 0.0,
+        "affinity_hits": batch.affinity_hits,
+        "steals": batch.steals,
+        "hit_rate": (round(batch.affinity_hits / len(requests), 3)
+                     if requests else 0.0),
+        "per_host": per_host,
+        "requeues": stats["requeues"],
+        "hosts_lost": stats["hosts_lost"],
+        "ok": batch.ok and cold.ok,
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
 def run_throughput(workers: int = 4, repeats: int = DEFAULT_REPEATS,
                    nprocs: int = 8, preset: str = "test",
                    slo: Optional[float] = None,
+                   fleet: Optional[list] = None,
                    progress=None) -> dict:
-    """Measure serial vs service runs/min; returns the result document."""
+    """Measure serial vs service runs/min; returns the result document.
+
+    ``fleet`` (``"HOST:PORT"`` specs of running ``repro serve --tcp``
+    hosts) adds the multi-host section — see the module docstring.
+    """
     from repro.serve import RunService
 
     requests = build_matrix(preset=preset, nprocs=nprocs, repeats=repeats)
@@ -217,6 +277,9 @@ def run_throughput(workers: int = 4, repeats: int = DEFAULT_REPEATS,
         "mismatches": mismatches,
         "results": [r.to_json() for r in batch.results],
     }
+    if fleet:
+        doc["fleet"] = _measure_fleet(list(fleet), requests, serial,
+                                      batch.runs_per_min, progress)
     doc["failures"] = check_throughput(doc)
     doc["ok"] = not doc["failures"]
     return doc
@@ -250,6 +313,22 @@ def check_throughput(doc: dict) -> list:
             f"wall-clock is below the calibrated SLO "
             f"{doc['sweep']['slo']:.2f}x "
             f"({doc['workers']} worker(s), {doc['cpu_count']} core(s))")
+    fl = doc.get("fleet")
+    if fl is not None:
+        if not fl["ok"]:
+            failures.append("fleet batch contains failed run(s)")
+        if not fl["bit_identical"]:
+            failures.append(
+                f"fleet results diverged from the serial baseline for "
+                f"{fl['mismatches']} — a host fleet must not change "
+                f"answers")
+        if fl["hosts_lost"]:
+            failures.append(
+                f"fleet lost {fl['hosts_lost']} host(s) during the bench")
+        if fl["hit_rate"] <= 0.0:
+            failures.append(
+                "fleet affinity hit-rate is zero on a repeat-key batch — "
+                "the host router is not honouring warm caches")
     return failures
 
 

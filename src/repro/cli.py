@@ -11,6 +11,7 @@ Commands
 ``chaos``                sweep fault seeds; assert numerics vs fault-free
 ``bench``                time simulator kernels in wall-clock seconds
 ``serve``                persistent worker-pool run service (JSON lines)
+``fleet``                front N remote serve hosts behind one service
 ``list``                 list applications, variants and presets
 
 Every command that runs programs goes through the unified
@@ -30,6 +31,8 @@ Examples::
     python -m repro bench --smoke
     python -m repro bench --throughput --workers 4
     python -m repro serve --port 7590 --workers 4
+    python -m repro fleet --host h1:7590 --host h2:7590 --probe
+    python -m repro sweep --apps jacobi --fleet h1:7590 --fleet h2:7590
     python -m repro figures
 """
 
@@ -62,6 +65,11 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="retire runs through a worker pool of this "
                              "size (default 1: serial in-process, "
                              "bit-for-bit the historical behaviour)")
+    parser.add_argument("--fleet", action="append", default=None,
+                        metavar="HOST:PORT", dest="fleet",
+                        help="retire runs across remote `repro serve "
+                             "--tcp` hosts (repeat per host); results "
+                             "stay bit-identical to the serial loop")
 
 
 def _parse_machine(pairs):
@@ -117,7 +125,8 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     results = run_all_variants(args.app, nprocs=args.nprocs,
-                               preset=args.preset, jobs=args.jobs)
+                               preset=args.preset, jobs=args.jobs,
+                               fleet=args.fleet)
     print(f"{args.app} ({PAPER[args.app].problem_size}), "
           f"{args.nprocs} simulated processors, preset {args.preset!r}\n")
     for variant in ("seq", "spf", "tmk", "xhpf", "pvme"):
@@ -157,7 +166,7 @@ def cmd_sweep(args) -> int:
     doc = run_sweep(apps=args.apps or None, variants=args.variants or None,
                     nodes=tuple(args.nodes), preset=args.preset,
                     machine=machine_from_doc(_parse_machine(args.machine)),
-                    jobs=args.jobs,
+                    jobs=args.jobs, fleet=args.fleet,
                     progress=(None if args.quiet else
                               lambda m: print(m, file=sys.stderr)))
     print(format_sweep_tables(doc))
@@ -195,7 +204,7 @@ def cmd_racecheck(args) -> int:
 
     report = racecheck_app(args.app, args.variant, seeds=args.seeds,
                            nprocs=args.nprocs, preset=args.preset,
-                           jobs=args.jobs)
+                           jobs=args.jobs, fleet=args.fleet)
     lookup = None
     if args.variant.startswith("spf"):
         spec = get_app(args.app)
@@ -224,6 +233,7 @@ def cmd_chaos(args) -> int:
     report = chaos_sweep(apps=args.apps, variants=args.variants,
                          seeds=args.seeds, nprocs=args.nprocs,
                          preset=args.preset, plan=plan, jobs=args.jobs,
+                         fleet=args.fleet,
                          progress=(None if args.quiet else
                                    lambda m: print(m, file=sys.stderr)))
     print(report.format())
@@ -313,7 +323,7 @@ def _bench_throughput(args) -> int:
     doc = run_throughput(workers=args.workers, repeats=args.repeats,
                          nprocs=args.nprocs,
                          preset="test" if args.smoke else "bench",
-                         slo=args.slo, progress=print)
+                         slo=args.slo, fleet=args.fleet, progress=print)
     path = write_results(doc, args.out) if args.out else write_results(doc)
     print(f"serial:  {doc['serial']['runs_per_min']:8.1f} runs/min "
           f"({doc['serial']['wall_s']:.2f}s for {doc['runs']} run(s))")
@@ -332,6 +342,15 @@ def _bench_throughput(args) -> int:
           f"({sw['serial_wall_s']:.2f}s -> {sw['service_wall_s']:.2f}s, "
           f"{sw['cells']} cell(s), SLO {sw['slo']:.2f}x); "
           f"bit-identical: {sw['bit_identical']}")
+    fl = doc.get("fleet")
+    if fl is not None:
+        print(f"fleet:   {fl['runs_per_min']:8.1f} runs/min across "
+              f"{len(fl['hosts'])} host(s) ({fl['live_workers']} remote "
+              f"worker(s), {fl['vs_service']:.2f}x the local pool); "
+              f"bit-identical: {fl['bit_identical']}")
+        for label, ph in sorted(fl["per_host"].items()):
+            print(f"  host {label}: {ph['runs']} run(s), "
+                  f"{ph['hit_rate']:.0%} affinity hit-rate")
     print(f"results -> {path}")
     if args.no_gate:
         return 0
@@ -359,9 +378,48 @@ def cmd_serve(args) -> int:
             try:
                 server.serve_forever()
             finally:
-                server._tcp.server_close()
+                server.close()
     finally:
         service.close()
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from repro.serve import FleetService, WireServer, serve_stdio
+
+    kwargs = {} if args.retries is None else {"retries": args.retries}
+    try:
+        fleet = FleetService(args.host, **kwargs)
+    except (ConnectionError, ValueError) as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.probe:
+            health = fleet.probe()
+            for label, info in sorted(health.items()):
+                state = "alive" if info["alive"] else "DOWN"
+                rtt = (f" rtt {info['last_rtt_ms']:.1f}ms"
+                       if info.get("last_rtt_ms") is not None else "")
+                print(f"fleet: {label} {state} "
+                      f"workers={info.get('workers', 0)}{rtt}")
+            return 0 if all(h["alive"] for h in health.values()) else 1
+        if args.port is None:
+            print(f"fleet: {len(args.host)} host(s), "
+                  f"{fleet.live_workers()} remote worker(s); speaking the "
+                  f"protocol on stdio", file=sys.stderr)
+            verdict = serve_stdio(fleet, sys.stdin, sys.stdout)
+            print(f"fleet: session ended ({verdict})", file=sys.stderr)
+        else:
+            server = WireServer(fleet, host=args.bind, port=args.port)
+            print(f"fleet: listening on {server.host}:{server.port} "
+                  f"({len(args.host)} host(s), {fleet.live_workers()} "
+                  f"remote worker(s))", file=sys.stderr)
+            try:
+                server.serve_forever()
+            finally:
+                server.close()
+    finally:
+        fleet.close()
     return 0
 
 
@@ -523,6 +581,11 @@ def main(argv=None) -> int:
     p.add_argument("--slo", type=float, default=None,
                    help="throughput SLO as a multiple of serial runs/min "
                         "(default: 0.75 x min(workers, cpu cores))")
+    p.add_argument("--fleet", action="append", default=None,
+                   metavar="HOST:PORT",
+                   help="with --throughput: also measure the batch across "
+                        "these remote `repro serve --tcp` hosts (repeat "
+                        "per host) and gate on bit-identity")
     p.add_argument("-n", "--nprocs", type=int, default=8)
     p.set_defaults(fn=cmd_bench)
 
@@ -547,6 +610,27 @@ def main(argv=None) -> int:
                         "requests; beyond it new requests fail fast with "
                         "error_kind=Rejected (default: unbounded)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="front N remote `repro serve --tcp` hosts behind one "
+             "service (same wire protocol; cache-affine host routing, "
+             "failover with requeue)")
+    p.add_argument("--host", action="append", required=True,
+                   metavar="HOST:PORT",
+                   help="a remote serve endpoint (repeat per host)")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on this TCP port (0 = ephemeral); "
+                        "default: speak the protocol over stdio")
+    p.add_argument("--bind", default="127.0.0.1",
+                   help="bind address for --port (default 127.0.0.1)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="connect/send retries before a host is declared "
+                        "lost (default 3)")
+    p.add_argument("--probe", action="store_true",
+                   help="health-check every host (exit 1 if any is down) "
+                        "instead of serving")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "lint",

@@ -180,6 +180,7 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
                 model: Optional[MachineModel] = None,
                 plan: Optional[FaultPlan] = None,
                 jobs: int = 1, service=None,
+                fleet: Optional[list] = None,
                 progress=None) -> ChaosReport:
     """Sweep fault seeds over app×variant pairs and judge the numerics.
 
@@ -187,8 +188,9 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
     ``plan`` supplies the fault rates/schedule (default:
     :meth:`FaultPlan.default`); each seed runs under ``plan.with_seed``.
 
-    ``jobs > 1`` (or ``service``) retires every (pair, seed) cell — and
-    each pair's fault-free baseline — through a
+    ``jobs > 1`` (or ``service``, or ``fleet`` — a list of remote
+    ``repro serve --tcp`` ``"HOST:PORT"`` specs) retires every (pair,
+    seed) cell — and each pair's fault-free baseline — through a
     :class:`~repro.serve.RunService` pool; DSM cells use the request's
     ``readback`` to carry coherent array hashes back across the process
     boundary, so the verdicts are judged on exactly the same evidence as
@@ -209,9 +211,10 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
         preset=preset, nprocs=nprocs, seeds=seed_list,
         plan=fault_plan_to_doc(plan))
 
-    if jobs > 1 or service is not None:
+    if jobs > 1 or service is not None or fleet:
         return _chaos_parallel(report, apps, variants, seed_list, nprocs,
-                               preset, model, plan, jobs, service, progress)
+                               preset, model, plan, jobs, service, fleet,
+                               progress)
 
     for app in apps:
         spec = get_app(app)
@@ -282,7 +285,7 @@ def chaos_sweep(apps: Optional[Sequence[str]] = None,
 
 
 def _chaos_parallel(report: ChaosReport, apps, variants, seed_list,
-                    nprocs, preset, model, plan, jobs, service,
+                    nprocs, preset, model, plan, jobs, service, fleet,
                     progress) -> ChaosReport:
     """Retire the whole chaos grid as one batch through a worker pool.
 
@@ -316,8 +319,8 @@ def _chaos_parallel(report: ChaosReport, apps, variants, seed_list,
         return f"chaos {r.app}/{r.variant}: {what}"
 
     results = run_requests(requests, jobs=jobs, service=service,
-                           progress=progress, describe=describe,
-                           raise_on_error=False)
+                           fleet=fleet, progress=progress,
+                           describe=describe, raise_on_error=False)
     by_label = dict(zip(labels, results))
 
     for app in apps:

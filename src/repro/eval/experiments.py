@@ -106,23 +106,27 @@ def run_all_variants(app: str, nprocs: int = 8, preset: str = "bench",
                      variants: Optional[list] = None,
                      model: Optional[MachineModel] = None,
                      cache: Optional[ProgramCache] = None,
-                     jobs: int = 1, service=None) -> dict:
+                     jobs: int = 1, service=None,
+                     fleet: Optional[list] = None) -> dict:
     """Run ``variants`` (default: the four of Figures 1/2 plus seq).
 
     One compiled-program cache spans the batch, and the sequential
     oracle's measured time seeds every later variant's speedup — the same
     contract as before, now through the unified API.
 
-    ``jobs > 1`` (or ``service``) retires the variants through a
-    :class:`~repro.serve.RunService` pool in two phases: the sequential
-    oracle first (alone — its measured time seeds the others' speedups,
-    exactly as the serial loop threads it), then the remaining variants
-    concurrently.  Results are keyed in ``variants`` order either way.
+    ``jobs > 1`` (or ``service``, or ``fleet`` — remote ``"HOST:PORT"``
+    specs) retires the variants through a
+    :class:`~repro.serve.RunService` pool (or a
+    :class:`~repro.serve.FleetService` over the fleet hosts) in two
+    phases: the sequential oracle first (alone — its measured time seeds
+    the others' speedups, exactly as the serial loop threads it), then
+    the remaining variants concurrently.  Results are keyed in
+    ``variants`` order either way.
     """
     if variants is None:
         variants = list(FIGURE_VARIANTS)
     machine = machine_to_doc(model)
-    if jobs <= 1 and service is None:
+    if jobs <= 1 and service is None and not fleet:
         cache = cache if cache is not None else ProgramCache()
         out: dict = {}
         seq_time = None
@@ -139,8 +143,12 @@ def run_all_variants(app: str, nprocs: int = 8, preset: str = "bench",
     from repro.eval.parallel import run_requests
     own = None
     if service is None:
-        from repro.serve import RunService
-        service = own = RunService(workers=jobs)
+        if fleet:
+            from repro.serve import FleetService
+            service = own = FleetService(fleet)
+        else:
+            from repro.serve import RunService
+            service = own = RunService(workers=jobs)
     try:
         out = {}
         seq_time = None

@@ -5,16 +5,19 @@ parallel, return results **in request order**.
 compare`` all retire grids of independent :class:`~repro.api.RunRequest`
 runs.  :func:`run_requests` is their common submission path:
 
-* ``jobs <= 1`` and no ``service`` — the historical serial loop: one
-  in-process :func:`~repro.api.execute` call after another through a
-  single shared :class:`~repro.api.ProgramCache`.  Bit-for-bit the
-  behaviour the harnesses had before they learned ``--jobs``;
+* ``jobs <= 1``, no ``service``, no ``fleet`` — the historical serial
+  loop: one in-process :func:`~repro.api.execute` call after another
+  through a single shared :class:`~repro.api.ProgramCache`.  Bit-for-bit
+  the behaviour the harnesses had before they learned ``--jobs``;
+* ``fleet`` (a list of ``"HOST:PORT"`` specs) — a batch through a
+  temporary :class:`~repro.serve.FleetService` sharding across remote
+  ``repro serve --tcp`` hosts;
 * otherwise — a batch through a :class:`~repro.serve.RunService` worker
   pool (a caller-supplied one, or a temporary ``workers=jobs`` pool torn
-  down afterwards).  The pool streams completions in whatever order the
-  scheduler produces; this helper reassembles them into request order,
-  so a harness's rows/cells/tables are deterministic regardless of which
-  worker finished first.
+  down afterwards).  Both services stream completions in whatever order
+  the scheduler produces; this helper reassembles them into request
+  order, so a harness's rows/cells/tables are deterministic regardless
+  of which worker — or host — finished first.
 
 Results are the same ``repro-run/1`` documents either way — the service
 path is bit-identical on the fingerprint contract, which is exactly what
@@ -38,13 +41,16 @@ def _describe(request: RunRequest) -> str:
 def run_requests(requests: Iterable[RunRequest],
                  jobs: int = 1,
                  service=None,
+                 fleet: Optional[list] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  describe: Optional[Callable[[RunRequest], str]] = None,
                  raise_on_error: bool = True) -> List[RunResult]:
     """Run ``requests``; return their results in request order.
 
-    ``service`` takes precedence over ``jobs`` (reuse an existing pool —
-    e.g. the throughput bench measures a sweep through its own service);
+    ``service`` takes precedence over ``fleet`` and ``jobs`` (reuse an
+    existing pool — e.g. the throughput bench measures a sweep through
+    its own service); ``fleet`` (``"HOST:PORT"`` specs) spins up a
+    temporary :class:`~repro.serve.FleetService` over remote hosts;
     ``jobs > 1`` spins up a temporary :class:`~repro.serve.RunService`.
     ``progress`` is called with ``describe(request)`` per run — before
     each run when serial, on completion when parallel (completion order).
@@ -56,7 +62,7 @@ def run_requests(requests: Iterable[RunRequest],
     requests = list(requests)
     describe = describe or _describe
 
-    if service is None and jobs <= 1:
+    if service is None and not fleet and jobs <= 1:
         cache = ProgramCache()
         results = []
         for request in requests:
@@ -67,8 +73,12 @@ def run_requests(requests: Iterable[RunRequest],
         results = [None] * len(requests)
         own = None
         if service is None:
-            from repro.serve import RunService
-            service = own = RunService(workers=jobs)
+            if fleet:
+                from repro.serve import FleetService
+                service = own = FleetService(fleet)
+            else:
+                from repro.serve import RunService
+                service = own = RunService(workers=jobs)
         try:
             for index, result in service.stream(requests):
                 results[index] = result

@@ -164,19 +164,22 @@ def racecheck_app(app: str, variant: str = "spf",
                   nprocs: int = 8, preset: str = "test",
                   model: Optional[MachineModel] = None,
                   gc_epochs: Optional[int] = 8,
-                  jobs: int = 1, service=None) -> RacecheckReport:
+                  jobs: int = 1, service=None,
+                  fleet: Optional[list] = None) -> RacecheckReport:
     """Race-check ``app`` under ``variant`` across ``seeds`` interleavings.
 
     ``seeds`` is a count (seeds ``0..K-1``) or an explicit sequence; a
     seed of ``None`` means the unperturbed historical order.  Only DSM
     variants apply (``spf``/``spf_opt``/``spf_old``/``tmk``).
 
-    ``jobs > 1`` (or ``service``) runs the first seed locally — the
+    ``jobs > 1`` (or ``service``, or ``fleet`` — remote ``repro serve
+    --tcp`` ``"HOST:PORT"`` specs) runs the first seed locally — the
     sequential-oracle array comparison needs the *contents*, not just
     hashes — and the remaining seeds through a
-    :class:`~repro.serve.RunService` pool, whose results carry the same
-    coherent array hashes (``readback``) and race findings
-    (``races_from_doc``) the local run produces.
+    :class:`~repro.serve.RunService` pool (or a
+    :class:`~repro.serve.FleetService` over the fleet hosts), whose
+    results carry the same coherent array hashes (``readback``) and race
+    findings (``races_from_doc``) the local run produces.
     """
     if variant not in _DSM_VARIANTS:
         raise ValueError(
@@ -212,7 +215,7 @@ def racecheck_app(app: str, variant: str = "spf",
     if not seed_list:
         raise ValueError("racecheck needs at least one schedule seed "
                          "(a zero-run verdict would be vacuously OK)")
-    parallel = jobs > 1 or service is not None
+    parallel = jobs > 1 or service is not None or bool(fleet)
     local_seeds = seed_list[:1] if parallel else seed_list
     remote_seeds = seed_list[1:] if parallel else []
 
@@ -250,7 +253,7 @@ def racecheck_app(app: str, variant: str = "spf",
                                racecheck=True, readback=True, seq_time=1.0)
                     for seed in remote_seeds]
         results = run_requests(
-            requests, jobs=jobs, service=service,
+            requests, jobs=jobs, service=service, fleet=fleet,
             describe=lambda r: (f"racecheck {r.app}/{r.variant} "
                                 f"seed {r.schedule_seed}"))
         for seed, res in zip(remote_seeds, results):

@@ -10,18 +10,27 @@ Library entry point::
 
 CLI entry point: ``python -m repro serve`` (stdio or TCP JSON-lines —
 see :mod:`repro.serve.wire` for the protocol).
+
+One level up, :class:`FleetService` (``python -m repro fleet``) presents
+the same surface but shards batches across several remote ``repro serve
+--tcp`` hosts — see :mod:`repro.serve.fleet`.
 """
 
+from repro.serve.fleet import FleetService, parse_host
 from repro.serve.service import DEFAULT_WORKERS, RunService
-from repro.serve.wire import WIRE_SCHEMA, WireClient, WireServer, serve_stdio
+from repro.serve.wire import (WIRE_SCHEMA, WireClient, WireConnectionLost,
+                              WireServer, serve_stdio)
 from repro.serve.worker import DEFAULT_RUNNER
 
 __all__ = [
     "RunService",
+    "FleetService",
+    "parse_host",
     "DEFAULT_WORKERS",
     "DEFAULT_RUNNER",
     "WIRE_SCHEMA",
     "WireClient",
+    "WireConnectionLost",
     "WireServer",
     "serve_stdio",
 ]

@@ -360,27 +360,37 @@ class RunService:
                 yield index_of[seq], result
             self._dispatch(backlog, pending)
 
-    def _counters(self) -> dict:
-        """Snapshot of the monotonic scheduling counters (for deltas)."""
+    def counters(self) -> dict:
+        """Snapshot of the monotonic scheduling counters (for deltas).
+
+        Part of the service surface the wire layer dispatches against
+        (shared with :class:`~repro.serve.fleet.FleetService`): at the
+        pool level ``crashes`` counts worker deaths; at the fleet level
+        it counts host losses.
+        """
         return {"crashes": self._crashes,
                 "affinity_hits": self._affinity_hits,
                 "steals": self._steals,
                 "rejections": self._rejections}
 
+    def live_workers(self) -> int:
+        """Workers alive right now (not the configured pool size)."""
+        return len(self._procs)
+
     def run_batch(self, requests: Iterable) -> BatchResult:
         """Run a batch; return ordered results plus service counters."""
         docs = [self._as_doc(r) for r in requests]
         t0 = _time.perf_counter()
-        before = self._counters()
+        before = self.counters()
         results: list = [None] * len(docs)
         for idx, result in self.stream(docs):
             results[idx] = result
         wall = _time.perf_counter() - t0
-        delta = {k: v - before[k] for k, v in self._counters().items()}
+        delta = {k: v - before[k] for k, v in self.counters().items()}
         return BatchResult(
             results=tuple(results),
             wall_s=round(wall, 6),
-            workers=len(self._procs),
+            workers=self.live_workers(),
             cache_hits=sum(1 for r in results if r.cache_hit),
             cache_misses=sum(1 for r in results if r.cache_hit is False),
             crashes=delta["crashes"],

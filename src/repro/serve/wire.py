@@ -40,7 +40,35 @@ from repro.api.types import BatchResult, RunResult
 
 WIRE_SCHEMA = "repro-serve/1"
 
-__all__ = ["WIRE_SCHEMA", "serve_stdio", "WireServer", "WireClient"]
+__all__ = ["WIRE_SCHEMA", "serve_stdio", "WireServer", "WireClient",
+           "WireConnectionLost"]
+
+
+class WireConnectionLost(ConnectionError):
+    """The peer went away mid-conversation.
+
+    Raised instead of a bare ``JSONDecodeError``/``IndexError`` when the
+    socket returns EOF, a partial line, or a garbled line.  Structured so
+    callers (the fleet tier above all) can act on it:
+
+    * ``host``/``port`` — the endpoint that was lost;
+    * ``in_flight`` — the id (or op) of the request awaiting a reply;
+    * ``completed``/``pending`` — for a batch stream, which batch indexes
+      had already produced results and which were still in flight when
+      the connection died (``completed`` maps index -> RunResult).
+    """
+
+    def __init__(self, message: str, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 in_flight: Optional[object] = None,
+                 completed: Optional[dict] = None,
+                 pending: Optional[list] = None):
+        super().__init__(message)
+        self.host = host
+        self.port = port
+        self.in_flight = in_flight
+        self.completed = dict(completed or {})
+        self.pending = list(pending or [])
 
 
 def _hello(service) -> dict:
@@ -78,14 +106,14 @@ def _handle(service, msg: dict, emit, lock: threading.Lock) -> str:
         import time as _time
         t0 = _time.perf_counter()
         with lock:
-            before = service._counters()
+            before = service.counters()
             for index, result in service.stream(requests):
                 results[index] = result
                 emit({"op": "result", "id": msg.get("id"), "index": index,
                       "result": result.to_json()})
             delta = {k: v - before[k]
-                     for k, v in service._counters().items()}
-            live = len(service._procs)
+                     for k, v in service.counters().items()}
+            live = service.live_workers()
         batch = BatchResult(
             results=tuple(results),
             wall_s=round(_time.perf_counter() - t0, 6),
@@ -151,6 +179,8 @@ class WireServer:
         self.service = service
         self._lock = threading.Lock()
         self._shutdown = threading.Event()
+        self._started = False
+        self._closed = False
         outer = self
 
         class _Handler(socketserver.StreamRequestHandler):
@@ -194,6 +224,7 @@ class WireServer:
         self.host, self.port = self._tcp.server_address[:2]
 
     def serve_forever(self) -> None:
+        self._started = True
         self._tcp.serve_forever(poll_interval=0.1)
 
     def serve_in_thread(self) -> threading.Thread:
@@ -203,14 +234,37 @@ class WireServer:
         return thread
 
     def close(self) -> None:
-        self._tcp.shutdown()
-        self._tcp.server_close()
+        """Stop accepting and release the socket.  Idempotent: a second
+        call (or a close after a client-driven ``shutdown``) is a no-op
+        instead of raising on the dead listener."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            # shutdown() blocks on serve_forever's exit handshake; if the
+            # accept loop never ran there is nothing to stop (and the
+            # wait would never return)
+            self._tcp.shutdown()
+        try:
+            self._tcp.server_close()
+        except OSError:
+            pass
 
 
 class WireClient:
-    """Minimal JSON-lines client for a :class:`WireServer`."""
+    """Minimal JSON-lines client for a :class:`WireServer`.
+
+    Connection loss anywhere in a conversation raises the structured
+    :class:`WireConnectionLost` (endpoint + in-flight request id), never
+    a bare ``JSONDecodeError``/``IndexError`` from an empty or truncated
+    read.  ``close()``/``__exit__`` are idempotent and safe after the
+    server has already gone away.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.host, self.port = host, int(port)
+        self._closed = False
+        self._in_flight: object = "hello"
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._rfile = self._sock.makefile("r", encoding="utf-8")
@@ -219,15 +273,36 @@ class WireClient:
         if self.hello.get("schema") != WIRE_SCHEMA:
             raise RuntimeError(f"unexpected wire schema: {self.hello}")
 
+    def _lost(self, why: str) -> WireConnectionLost:
+        return WireConnectionLost(
+            f"connection to {self.host}:{self.port} lost while "
+            f"{self._in_flight!r} was in flight: {why}",
+            host=self.host, port=self.port, in_flight=self._in_flight)
+
     def _send(self, obj: dict) -> None:
-        self._wfile.write(json.dumps(obj, sort_keys=True) + "\n")
-        self._wfile.flush()
+        if self._closed:
+            raise self._lost("client already closed")
+        self._in_flight = obj.get("id") or obj.get("op")
+        try:
+            self._wfile.write(json.dumps(obj, sort_keys=True) + "\n")
+            self._wfile.flush()
+        except (OSError, ValueError) as exc:
+            raise self._lost(f"send failed: {exc}") from exc
 
     def _recv(self) -> dict:
-        line = self._rfile.readline()
+        try:
+            line = self._rfile.readline()
+        except (OSError, ValueError) as exc:   # timeout included
+            raise self._lost(f"read failed: {exc}") from exc
         if not line:
-            raise ConnectionError("server closed the connection")
-        return json.loads(line)
+            raise self._lost("EOF (server closed the connection)")
+        if not line.endswith("\n"):
+            raise self._lost(f"partial line ({len(line)} byte(s) "
+                             f"without a newline)")
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise self._lost(f"garbled line: {exc}") from exc
 
     def run(self, request, id: Optional[object] = None) -> RunResult:
         doc = request.to_json() if hasattr(request, "to_json") else request
@@ -242,22 +317,36 @@ class WireClient:
         """Send a batch; yield streamed messages, ending in batch-done.
 
         Yields ``("result", index, RunResult)`` per completion, then
-        ``("batch", None, BatchResult)``.
+        ``("batch", None, BatchResult)``.  If the connection drops
+        mid-stream the raised :class:`WireConnectionLost` fails fast
+        (EOF, not the read timeout) and marks the split: ``completed``
+        maps the batch indexes that produced results to them, ``pending``
+        lists the indexes that were still in flight — a retrying caller
+        (the fleet tier) requeues exactly ``pending``, nothing twice.
         """
         docs = [r.to_json() if hasattr(r, "to_json") else r
                 for r in requests]
-        self._send({"op": "batch", "id": id, "requests": docs})
-        while True:
-            msg = self._recv()
-            op = msg.get("op")
-            if op == "result":
-                yield ("result", msg["index"],
-                       RunResult.from_json(msg["result"]))
-            elif op == "batch-done":
-                yield ("batch", None, BatchResult.from_json(msg["batch"]))
-                return
-            elif op == "error":
-                raise RuntimeError(msg.get("message"))
+        completed: dict = {}
+        try:
+            self._send({"op": "batch", "id": id, "requests": docs})
+            while True:
+                msg = self._recv()
+                op = msg.get("op")
+                if op == "result":
+                    result = RunResult.from_json(msg["result"])
+                    completed[msg["index"]] = result
+                    yield ("result", msg["index"], result)
+                elif op == "batch-done":
+                    yield ("batch", None,
+                           BatchResult.from_json(msg["batch"]))
+                    return
+                elif op == "error":
+                    raise RuntimeError(msg.get("message"))
+        except WireConnectionLost as exc:
+            exc.completed = dict(completed)
+            exc.pending = [i for i in range(len(docs))
+                           if i not in completed]
+            raise
 
     def run_batch(self, requests: Iterable) -> BatchResult:
         batch = None
@@ -274,18 +363,26 @@ class WireClient:
         return msg["stats"]
 
     def shutdown(self) -> None:
-        self._send({"op": "shutdown"})
         try:
+            self._send({"op": "shutdown"})
             self._recv()
-        except (ConnectionError, ValueError):
-            pass
+        except (ConnectionError, ValueError, OSError):
+            pass           # the point was to take the server down
 
     def close(self) -> None:
+        """Idempotent; safe when the server is already gone."""
+        if self._closed:
+            return
         try:
             self._send({"op": "bye"})
-        except (OSError, ValueError):
+        except (OSError, ValueError, WireConnectionLost):
             pass
-        self._sock.close()
+        self._closed = True
+        for stream in (self._rfile, self._wfile, self._sock):
+            try:
+                stream.close()
+            except (OSError, ValueError):
+                pass
 
     def __enter__(self) -> "WireClient":
         return self

@@ -8,6 +8,7 @@ tested without paying for real simulator runs.
 """
 
 import os
+import time
 
 from repro.api.types import RunRequest, RunResult
 
@@ -19,12 +20,16 @@ def echo_runner(request_doc, cache):
     failure mode that cannot be converted to a structured result inside
     the worker — exercises the parent's liveness monitor.
     ``tag == "fail"``   -> raises, exercising the structured-failure path.
+    ``tag == "slow:S:..."`` -> sleeps ``S`` seconds first, so a test can
+    kill a host while requests are verifiably in flight.
     """
     request = RunRequest.from_json(request_doc)
     if request.tag == "crash":
         os._exit(17)
     if request.tag == "fail":
         raise RuntimeError("injected failure")
+    if request.tag and request.tag.startswith("slow:"):
+        time.sleep(float(request.tag.split(":")[1]))
     cache.get(request.cache_key(), lambda: "compiled")
     return RunResult(app=request.app, variant=request.variant,
                      nprocs=request.nprocs, preset=request.preset,
