@@ -148,7 +148,11 @@ def _prepare(request: RunRequest, cache: ProgramCache):
                                 if request.variant not in ("tmk", "pvme")
                                 else None)}
         program = spec.build_program(params)
-        if request.variant in ("spf", "spf_opt", "spf_old"):
+        if request.variant == "spf_spec":
+            from repro.compiler.spf_spec import compile_spf_spec
+            exe = compile_spf_spec(program, request.nprocs,
+                                   _spf_options(spec, request))
+        elif request.variant in ("spf", "spf_opt", "spf_old"):
             from repro.compiler.spf import compile_spf
             exe = compile_spf(program, request.nprocs,
                               _spf_options(spec, request))
@@ -215,15 +219,19 @@ def _execute_sim(request: RunRequest, cache: ProgramCache,
 
     seq_time = _seq_time_for(request, cache)
     array_hashes = None
+    speculation = None
 
-    if request.variant in ("spf", "spf_opt", "spf_old"):
+    if request.variant in ("spf", "spf_opt", "spf_old", "spf_spec"):
         from repro.tmk.api import tmk_run
         exe = bundle["exe"]
         main = _wrap_readback(exe.run_on) if request.readback else exe.run_on
+        # spf_spec's misspeculation detector IS the race monitor: force it
+        # on so UNKNOWN loops speculate instead of degrading to serial
+        racecheck = request.racecheck or request.variant == "spf_spec"
         result = tmk_run(request.nprocs, main, exe.setup_space,
                          model=machine, gc_epochs=request.gc_epochs,
                          schedule_seed=request.schedule_seed,
-                         racecheck=request.racecheck, faults=faults)
+                         racecheck=racecheck, faults=faults)
         if request.readback:
             parts, array_hashes = _unwrap_readback(result)
             result.scalars = parts[0]
@@ -231,6 +239,7 @@ def _execute_sim(request: RunRequest, cache: ProgramCache,
             result.scalars = result.results[0]
         signature = dict(result.scalars)
         dsm = result.dsm_stats
+        speculation = getattr(exe, "last_spec_stats", None)
     elif request.variant in ("xhpf", "xhpf_ie"):
         from repro.sim.cluster import Cluster
         exe = bundle["exe"]
@@ -286,8 +295,10 @@ def _execute_sim(request: RunRequest, cache: ProgramCache,
         total_kilobytes=result.kilobytes,
         categories={k: (v[0], v[1])
                     for k, v in wtraffic.by_category.items()},
-        races=getattr(result, "racecheck", None),
+        races=(getattr(result, "racecheck", None)
+               if request.racecheck else None),
         array_hashes=array_hashes,
+        speculation=speculation,
         events=getattr(result, "events", 0),
         retransmissions=result.stats.retransmissions,
         acks=result.stats.acks,

@@ -30,10 +30,10 @@ __all__ = ["VARIANTS", "DSM_VARIANTS", "MP_VARIANTS", "MODELED_VARIANTS",
 
 #: canonical variant order (the historical ``experiments.VARIANTS``)
 VARIANTS = ["seq", "spf", "tmk", "xhpf", "pvme", "spf_opt", "spf_old",
-            "xhpf_ie"]
+            "xhpf_ie", "spf_spec"]
 
 #: shared-memory variants (race checking / coherent readback apply)
-DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
+DSM_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk", "spf_spec")
 
 #: explicit message-passing variants (nothing shared; signatures bit-stable)
 MP_VARIANTS = ("xhpf", "xhpf_ie", "pvme")
@@ -45,7 +45,7 @@ MODELED_VARIANTS = ("seq", "spf", "spf_old", "xhpf", "xhpf_ie")
 FIGURE_VARIANTS = ("seq", "spf", "tmk", "xhpf", "pvme")
 
 #: what ``repro racecheck`` accepts (== DSM variants, spf family first)
-RACECHECK_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk")
+RACECHECK_VARIANTS = ("spf", "spf_opt", "spf_old", "tmk", "spf_spec")
 
 #: problem-size presets every application provides
 PRESETS = ("paper", "bench", "test")
@@ -88,6 +88,10 @@ _VARIANT_INFO = {
                            "SPF over the original fork-join interface"),
     "xhpf_ie": VariantInfo("xhpf_ie", "mp", "compiler", True,
                            "XHPF with inspector-executor schedules"),
+    "spf_spec": VariantInfo("spf_spec", "dsm", "compiler", False,
+                            "speculative SPF: statically-unproven loops "
+                            "run parallel under the race monitor, with "
+                            "sequential re-execution on misspeculation"),
 }
 
 

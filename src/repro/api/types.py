@@ -309,6 +309,7 @@ class RunResult:
     categories: dict = field(default_factory=dict)   # window, per category
     races: Optional[object] = None   # RaceCheckResult when racecheck=True
     array_hashes: Optional[dict] = None    # name -> sha256 when readback=True
+    speculation: Optional[dict] = None     # spf_spec verdict/outcome stats
     events: int = 0              # simulator events processed (whole run)
     retransmissions: int = 0     # reliable-delivery re-sends (fault runs)
     acks: int = 0                # reliable-delivery acknowledgements

@@ -25,7 +25,7 @@ import numpy as np
 from repro.apps.common import (AppSpec, abs_sum,
                                append_signature_loops, register)
 from repro.compiler.ir import (Access, ArrayDecl, Full, Mark, ParallelLoop,
-                               Program, Reduction, SeqBlock, Span, TimeLoop)
+                               Program, Reduction, Span, TimeLoop)
 from repro.compiler.spf import SpfOptions
 
 __all__ = ["SPEC", "build_program", "hand_tmk", "hand_pvme"]

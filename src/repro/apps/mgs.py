@@ -27,8 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.common import (AppSpec, abs_sum,
-                               append_signature_loops,
-                               partial_signature, register)
+                               append_signature_loops, register)
 from repro.compiler.ir import (Access, ArrayDecl, Full, Mark, ParallelLoop,
                                Point, Program, SeqBlock, Span, TimeLoop)
 from repro.compiler.spf import SpfOptions

@@ -200,7 +200,23 @@ def cmd_explain(args) -> int:
 
 def cmd_racecheck(args) -> int:
     from repro.compiler.report import source_lookup
-    from repro.eval.racecheck import racecheck_app
+    from repro.eval.racecheck import cross_check_app, racecheck_app
+
+    if args.cross_check:
+        import json
+        import os
+
+        report = cross_check_app(args.app, seeds=args.seeds,
+                                 nprocs=args.nprocs, preset=args.preset,
+                                 mutations=args.mutations)
+        print(report.format())
+        if args.out:
+            os.makedirs(os.path.dirname(os.path.abspath(args.out)),
+                        exist_ok=True)
+            with open(args.out, "w") as fh:
+                json.dump(report.as_doc(), fh, indent=2, sort_keys=True)
+            print(f"results -> {args.out}")
+        return 0 if report.ok else 1
 
     report = racecheck_app(args.app, args.variant, seeds=args.seeds,
                            nprocs=args.nprocs, preset=args.preset,
@@ -256,6 +272,19 @@ def cmd_lint(args) -> int:
             print(f"unknown application {app!r} (choose from "
                   f"{', '.join(APPS)})", file=sys.stderr)
             return 2
+    if args.explain is not None:
+        from repro.compiler import depend
+
+        if len(args.apps) != 1:
+            print("lint --explain LOOP needs exactly one APP "
+                  "(the loop family to explain lives in one program)",
+                  file=sys.stderr)
+            return 2
+        spec = get_app(args.apps[0])
+        program = spec.build_program(spec.params(args.preset))
+        report = depend.analyze_program(program, nprocs=args.nprocs)
+        print(report.explain(args.explain or None))
+        return 0
     summary = lint_registry(apps=args.apps or None, nprocs=args.nprocs,
                             preset=args.preset,
                             backends=tuple(args.backends),
@@ -510,7 +539,8 @@ def main(argv=None) -> int:
         "racecheck",
         help="schedule-fuzz a DSM variant and report data races")
     p.add_argument("app", choices=APPS)
-    p.add_argument("variant", choices=list(RACECHECK_VARIANTS))
+    p.add_argument("variant", nargs="?", default="spf",
+                   choices=list(RACECHECK_VARIANTS))
     p.add_argument("--seeds", type=int, default=5,
                    help="number of schedule seeds to fuzz (default 5)")
     p.add_argument("-n", "--nprocs", type=int, default=8)
@@ -518,6 +548,15 @@ def main(argv=None) -> int:
                    choices=list(PRESETS),
                    help="problem size preset (default test: the harness "
                         "runs the app once per seed)")
+    p.add_argument("--cross-check", action="store_true",
+                   help="cross-validate the static depend verdicts "
+                        "against the dynamic detector (+ seeded mutation "
+                        "flips) instead of a plain fuzz run")
+    p.add_argument("--mutations", type=int, default=3,
+                   help="seeded dependence injections for --cross-check "
+                        "(default 3)")
+    p.add_argument("--out", default=None,
+                   help="with --cross-check: write the verdict JSON here")
     _add_jobs(p)
     p.set_defaults(fn=cmd_racecheck)
 
@@ -653,6 +692,10 @@ def main(argv=None) -> int:
                         "'rule:stmt' globs (see docs/LINT.md)")
     p.add_argument("--verbose", action="store_true",
                    help="print every finding, not just the badge table")
+    p.add_argument("--explain", default=None, metavar="LOOP",
+                   help="dump the symbolic dependence evidence for one "
+                        "loop family of APP (pass '' for every family); "
+                        "see docs/DEPEND.md")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-app progress on stderr")
     p.add_argument("--out", default=None,

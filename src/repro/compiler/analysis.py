@@ -22,8 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.compiler.ir import (Access, ParallelLoop, Program, SeqBlock,
-                               Span)
+from repro.compiler.ir import Access, ParallelLoop, Program, SeqBlock
 from repro.compiler.partition import block_range, cyclic_indices
 
 __all__ = ["access_rect", "rects_overlap", "chunk_rects", "loop_chunk",
@@ -50,7 +49,19 @@ def access_rect(acc: Access, lo: int, hi: int, shape: tuple) -> Optional[Rect]:
 
 
 def rects_overlap(a: Rect, b: Rect) -> bool:
-    """Do two rectangles share any element?  Empty dims never overlap."""
+    """Do two rectangles share any element?
+
+    Invariant: a dimension with zero extent (``hi <= lo``) denotes an
+    *empty* footprint, and an empty footprint overlaps nothing — not even
+    another empty or enclosing dimension.  This matters because
+    :func:`access_rect` mixes dim kinds in one rectangle: ``Point`` dims
+    arrive as one-element ``(c, c + 1)`` intervals, ``Full`` dims as
+    ``(0, extent)``, and clipped ``Span`` dims may arrive empty (e.g. a
+    halo entirely outside the array).  A rect with any empty dim therefore
+    touches no element and must report no overlap regardless of the other
+    dims.  Extra trailing dims on either rect are ignored (`zip`
+    semantics), matching ``Access.resolve``'s implicit-full padding.
+    """
     for (alo, ahi), (blo, bhi) in zip(a, b):
         if ahi <= alo or bhi <= blo:
             return False
@@ -156,15 +167,24 @@ def loops_fusable(a: ParallelLoop, b: ParallelLoop, nprocs: int,
         return False
     if a.reductions or a.accumulate:
         return False
+    # Footprints depend only on the owning processor, so resolve each
+    # side's per-processor rects once (2*nprocs calls per loop) instead of
+    # recomputing b's inside the pair loop (which made this O(nprocs**2)
+    # chunk_rects calls).
+    was = [chunk_rects(a, "writes", p, nprocs, program)
+           for p in range(nprocs)]
+    ras = [chunk_rects(a, "reads", p, nprocs, program)
+           for p in range(nprocs)]
+    wbs = [chunk_rects(b, "writes", q, nprocs, program)
+           for q in range(nprocs)]
+    rbs = [chunk_rects(b, "reads", q, nprocs, program)
+           for q in range(nprocs)]
     for p in range(nprocs):
-        wa = chunk_rects(a, "writes", p, nprocs, program)
-        ra = chunk_rects(a, "reads", p, nprocs, program)
+        wa, ra = was[p], ras[p]
         for q in range(nprocs):
             if p == q:
                 continue
-            wb = chunk_rects(b, "writes", q, nprocs, program)
-            rb = chunk_rects(b, "reads", q, nprocs, program)
-            if (_cross_conflict(wa, rb) or _cross_conflict(wa, wb)
-                    or _cross_conflict(ra, wb)):
+            if (_cross_conflict(wa, rbs[q]) or _cross_conflict(wa, wbs[q])
+                    or _cross_conflict(ra, wbs[q])):
                 return False
     return True

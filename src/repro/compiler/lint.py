@@ -16,9 +16,11 @@ the paper's compilers do.  Five rule families:
   surfaces as a numeric mismatch against the sequential oracle at some
   processor count;
 * **redundant synchronization** (``redundant-barrier``) — adjacent
-  parallel loops that pass :func:`analysis.loops_fusable` but are compiled
-  unfused: an eliminable barrier pair (Tseng [17], Section 5 of the
-  paper);
+  parallel loops that pass :func:`depend.loops_fusable_exact` (the
+  symbolic chunk-set test, exact where the older bounding-rectangle
+  :func:`analysis.loops_fusable` over-approximates cyclic chunks) but are
+  compiled unfused: an eliminable barrier pair (Tseng [17], Section 5 of
+  the paper);
 * **false sharing** (``false-sharing``) — from dtype, shape, page size and
   the block/cyclic partition, the chunk boundaries that straddle pages,
   predicting write-write false sharing and the diff traffic it causes
@@ -42,9 +44,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.compiler import analysis
-from repro.compiler.ir import (Access, FootprintError, Irregular, Mark,
-                               ParallelLoop, Program, SeqBlock, Span)
+from repro.compiler import analysis, depend
+from repro.compiler.ir import (FootprintError, Mark, ParallelLoop,
+                               Program, SeqBlock, Span)
 from repro.sim.machine import PAGE_SIZE
 from repro.tmk.pagespace import SharedSpace
 
@@ -627,7 +629,8 @@ def _check_redundant_barriers(program: Program, nprocs: int,
             prev = None             # SeqBlock / Mark breaks the unit chain
             continue
         if (prev is not None and not stmt.accumulate
-                and analysis.loops_fusable(prev, stmt, nprocs, program)):
+                and depend.loops_fusable_exact(prev, stmt, nprocs,
+                                               program)):
             key = (_family(prev.name), _family(stmt.name))
             if key not in seen:
                 seen.add(key)
@@ -636,7 +639,8 @@ def _check_redundant_barriers(program: Program, nprocs: int,
                     program=program.name, stmt=stmt.name, window=window,
                     message=f"the barrier pair between {prev.name!r} and "
                             f"{stmt.name!r} is eliminable: no "
-                            f"cross-processor dependence at n={nprocs}",
+                            f"cross-processor dependence at n={nprocs} "
+                            f"(exact symbolic chunk sets)",
                     hint="compile with SpfOptions(fuse_loops=True) to "
                          "fuse the dispatch (Tseng barrier elimination)",
                     details={"pred": prev.name}))
@@ -666,11 +670,18 @@ def _loop_write_pages(exe, loop: ParallelLoop, space: SharedSpace,
             continue                # data-dependent: not statically known
         if isinstance(chunk, np.ndarray):
             lead = acc.region[0] if acc.region else None
-            if isinstance(lead, Span) and lead.lo_off == 0 \
-                    and lead.hi_off == 0:
+            if isinstance(lead, Span):
+                # exact per-owned-index rows (iteration i touches rows
+                # [i+lo_off, i+hi_off]) instead of the bounding interval
+                # of the whole cyclic chunk, which would sweep in every
+                # other processor's rows and report phantom sharing
+                rows = np.unique(np.concatenate(
+                    [chunk + off
+                     for off in range(lead.lo_off, lead.hi_off + 1)]))
+                rows = rows[(rows >= 0) & (rows < handle.shape[0])]
                 row_elems = (int(np.prod(handle.shape[1:]))
                              if len(handle.shape) > 1 else 1)
-                pages = handle.element_pages(chunk * row_elems,
+                pages = handle.element_pages(rows * row_elems,
                                              elem_span=row_elems)
             else:
                 region = acc.resolve(int(chunk[0]), int(chunk[-1]) + 1,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.compiler import analysis
+from repro.compiler import analysis, depend
 from repro.compiler.ir import ParallelLoop, Program, SeqBlock
 from repro.compiler.spf import SpfOptions, compile_spf
 from repro.compiler.xhpf import XhpfOptions, compile_xhpf
@@ -135,6 +135,21 @@ def spf_report(program: Program, nprocs: int = 8,
                              f"neighbours")
     elif opt.push_halos:
         lines.append("halo-push plan: no eligible producer/consumer pairs")
+    dep = depend.analyze_program(program, nprocs, options)
+    counts = dep.counts()
+    lines.append(
+        f"dependence verdicts (repro lint --explain LOOP for evidence): "
+        f"{counts[depend.PROVEN_PARALLEL]} proven-parallel, "
+        f"{counts[depend.PROVEN_SERIAL]} proven-serial, "
+        f"{counts[depend.UNKNOWN]} unknown")
+    for fam in sorted(dep.verdicts):
+        v = dep.verdicts[fam]
+        if v.verdict != depend.PROVEN_PARALLEL:
+            why = (v.unknowns[0] if v.unknowns
+                   else v.dependences[0].describe() if v.dependences
+                   else "")
+            lines.append(f"  {fam}: {v.verdict.upper()}"
+                         + (f" — {why}" if why else ""))
     return "\n".join(lines)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.common import APP_REGISTRY, get_app
+from repro.compiler import depend
 from repro.compiler.lint import LintReport, lint_program
 
 __all__ = ["AppLint", "RegistryLint", "lint_registry"]
@@ -23,6 +24,7 @@ class AppLint:
 
     app: str
     report: LintReport
+    verdicts: dict = field(default_factory=dict)   # family -> depend verdict
 
     @property
     def badge(self) -> str:
@@ -40,6 +42,17 @@ class AppLint:
         if not t.analyzable:
             return "unanalyzable"
         return f"~{t.fetches} fetches / ~{t.twins_created} diffs"
+
+    def depend_cell(self) -> str:
+        if not self.verdicts:
+            return "-"
+        n = {depend.PROVEN_PARALLEL: 0, depend.PROVEN_SERIAL: 0,
+             depend.UNKNOWN: 0}
+        for v in self.verdicts.values():
+            n[v] += 1
+        return (f"{n[depend.PROVEN_PARALLEL]}P/"
+                f"{n[depend.PROVEN_SERIAL]}S/"
+                f"{n[depend.UNKNOWN]}U")
 
 
 @dataclass
@@ -64,10 +77,11 @@ class RegistryLint:
         lines = [f"Static lint (python -m repro lint, preset "
                  f"{self.preset!r}, n={self.nprocs}):", ""]
         width = max((len(a.app) for a in self.apps), default=8)
-        lines.append(f"{'app':{width}s}  {'lint':28s}  traffic (spf)")
+        lines.append(f"{'app':{width}s}  {'lint':28s}  {'depend':8s}  "
+                     f"traffic (spf)")
         for a in self.apps:
             lines.append(f"{a.app:{width}s}  {a.badge:28s}  "
-                         f"{a.traffic_cell()}")
+                         f"{a.depend_cell():8s}  {a.traffic_cell()}")
         if verbose:
             for a in self.apps:
                 if a.report.findings:
@@ -75,9 +89,12 @@ class RegistryLint:
         return "\n".join(lines)
 
     def as_doc(self) -> dict:
+        docs = {}
+        for a in self.apps:
+            docs[a.app] = a.report.as_doc()
+            docs[a.app]["depend_verdicts"] = dict(a.verdicts)
         return {"nprocs": self.nprocs, "preset": self.preset,
-                "ok": self.ok,
-                "apps": {a.app: a.report.as_doc() for a in self.apps}}
+                "ok": self.ok, "apps": docs}
 
 
 def lint_registry(apps=None, nprocs: int = 8, preset: str = "test",
@@ -94,5 +111,9 @@ def lint_registry(apps=None, nprocs: int = 8, preset: str = "test",
         report = lint_program(program, nprocs, backends=backends,
                               shadow=shadow, traffic=traffic,
                               suppress=suppress)
-        out.apps.append(AppLint(app=app, report=report))
+        dep = depend.analyze_program(program, nprocs)
+        out.apps.append(AppLint(
+            app=app, report=report,
+            verdicts={fam: v.verdict
+                      for fam, v in sorted(dep.verdicts.items())}))
     return out

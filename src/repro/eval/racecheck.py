@@ -33,12 +33,14 @@ import numpy as np
 
 from repro.api.registry import DSM_VARIANTS as _DSM_VARIANTS
 from repro.apps.common import combine_signatures, get_app, signatures_close
+from repro.compiler import depend
 from repro.compiler.seq import run_sequential
 from repro.compiler.spf import SpfOptions, compile_spf
 from repro.sim.machine import MachineModel
 from repro.tmk.api import tmk_run
 
 __all__ = ["SeedRun", "RacecheckReport", "racecheck_app",
+           "CrossCheckReport", "cross_check_app",
            "INTERNAL_PREFIXES", "READBACK_SOURCE"]
 
 #: runtime-internal shared arrays, excluded from the numeric readback
@@ -170,7 +172,7 @@ def racecheck_app(app: str, variant: str = "spf",
 
     ``seeds`` is a count (seeds ``0..K-1``) or an explicit sequence; a
     seed of ``None`` means the unperturbed historical order.  Only DSM
-    variants apply (``spf``/``spf_opt``/``spf_old``/``tmk``).
+    variants apply (``spf``/``spf_opt``/``spf_old``/``tmk``/``spf_spec``).
 
     ``jobs > 1`` (or ``service``, or ``fleet`` — remote ``repro serve
     --tcp`` ``"HOST:PORT"`` specs) runs the first seed locally — the
@@ -203,7 +205,11 @@ def racecheck_app(app: str, variant: str = "spf",
             options = SpfOptions(improved_interface=False)
         else:
             options = SpfOptions()
-        exe = compile_spf(program, nprocs, options)
+        if variant == "spf_spec":
+            from repro.compiler.spf_spec import compile_spf_spec
+            exe = compile_spf_spec(program, nprocs, options)
+        else:
+            exe = compile_spf(program, nprocs, options)
         setup = exe.setup_space
         body = exe.run_on
         scalars_of = 0         # master's return value is the scalar dict
@@ -286,4 +292,117 @@ def racecheck_app(app: str, variant: str = "spf",
             report.arrays_close.append(name)
         else:
             report.arrays_wrong.append(name)
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# static <-> dynamic cross-validation
+
+@dataclass
+class CrossCheckReport:
+    """Static verdicts vs the dynamic detector, for one application.
+
+    The contract being checked: a family the symbolic engine classifies
+    PROVEN-PARALLEL must never be implicated in a *true race* the dynamic
+    monitor finds under any schedule seed (one direction of soundness),
+    and seeded dependence injections must flip its verdict away from
+    PROVEN-PARALLEL (the engine is not vacuously optimistic).
+    """
+
+    app: str
+    nprocs: int
+    preset: str
+    seeds: list
+    verdicts: dict = field(default_factory=dict)   # family -> verdict
+    racing_families: list = field(default_factory=list)  # with a true race
+    violations: list = field(default_factory=list)  # PP family that raced
+    mutations: list = field(default_factory=list)   # per-seed flip records
+    dynamic_ok: bool = True   # the underlying racecheck_app verdict
+
+    @property
+    def flips(self) -> int:
+        return sum(1 for m in self.mutations if m["flipped"])
+
+    @property
+    def ok(self) -> bool:
+        return (not self.violations and self.dynamic_ok
+                and all(m["flipped"] for m in self.mutations))
+
+    def as_doc(self) -> dict:
+        return {"schema": "repro-crosscheck/1", "app": self.app,
+                "nprocs": self.nprocs, "preset": self.preset,
+                "seeds": list(self.seeds), "verdicts": dict(self.verdicts),
+                "racing_families": list(self.racing_families),
+                "violations": list(self.violations),
+                "mutations": [dict(m) for m in self.mutations],
+                "dynamic_ok": self.dynamic_ok, "ok": self.ok}
+
+    def format(self) -> str:
+        lines = [f"cross-check {self.app} n={self.nprocs} "
+                 f"preset={self.preset} seeds={self.seeds}"]
+        for fam, verdict in sorted(self.verdicts.items()):
+            raced = " [dynamic true race]" if fam in self.racing_families \
+                else ""
+            lines.append(f"  {fam:24s} {verdict}{raced}")
+        lines.append(f"  dynamic: {'OK' if self.dynamic_ok else 'FAIL'}; "
+                     f"{len(self.racing_families)} family(ies) raced")
+        if self.violations:
+            lines.append("  VIOLATION: proven-parallel family(ies) raced "
+                         "dynamically: " + ", ".join(self.violations))
+        for m in self.mutations:
+            lines.append(
+                f"  mutation seed={m['seed']} {m['kind']} on "
+                f"{m['family']}/{m['array']}: {m['before']} -> {m['after']}"
+                f" {'FLIP' if m['flipped'] else 'NO-FLIP'}")
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def cross_check_app(app: str, seeds: Union[int, Sequence] = 3,
+                    nprocs: int = 8, preset: str = "test",
+                    mutations: int = 3,
+                    model: Optional[MachineModel] = None,
+                    gc_epochs: Optional[int] = 8) -> CrossCheckReport:
+    """Assert the static verdicts agree with the dynamic detector.
+
+    Runs :func:`depend.analyze_program` on ``app``'s program and
+    :func:`racecheck_app` (``spf`` backend) across ``seeds``
+    interleavings, attributes every dynamic *true race* to its loop
+    family via the access source tags, and records a violation for any
+    PROVEN-PARALLEL family so implicated.  Then injects ``mutations``
+    seeded artificial dependences (:func:`depend.inject_dependence`) and
+    checks each flips its target family's verdict away from
+    PROVEN-PARALLEL.
+    """
+    spec = get_app(app)
+    program = spec.build_program(spec.params(preset))
+    static = depend.analyze_program(program, nprocs)
+
+    dyn = racecheck_app(app, "spf", seeds=seeds, nprocs=nprocs,
+                        preset=preset, model=model, gc_epochs=gc_epochs)
+    racing = sorted({depend.tag_family(src)
+                     for f in dyn.true_races
+                     for src in (f.source_a, f.source_b)})
+
+    report = CrossCheckReport(
+        app=app, nprocs=nprocs, preset=preset,
+        seeds=[r.seed for r in dyn.runs],
+        verdicts={fam: v.verdict for fam, v in static.verdicts.items()},
+        racing_families=racing,
+        violations=[fam for fam in racing
+                    if static.verdicts.get(fam) is not None
+                    and static.verdicts[fam].verdict
+                    == depend.PROVEN_PARALLEL],
+        dynamic_ok=dyn.ok)
+
+    for seed in range(mutations):
+        mutated, mut = depend.inject_dependence(program, seed=seed)
+        after = depend.analyze_program(mutated, nprocs)
+        verdict = after.verdicts[mut.family].verdict
+        report.mutations.append({
+            "seed": seed, "kind": mut.kind, "family": mut.family,
+            "array": mut.array,
+            "before": report.verdicts.get(mut.family, depend.UNKNOWN),
+            "after": verdict,
+            "flipped": verdict != depend.PROVEN_PARALLEL})
     return report

@@ -23,8 +23,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
 from repro.sim.cluster import Cluster, ProcEnv, RunResult
 from repro.sim.faults import FaultPlan
 from repro.sim.machine import MachineModel

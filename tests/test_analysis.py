@@ -215,3 +215,99 @@ def test_cyclic_bounding_interval_is_conservative():
                       writes=[Access("b", (Span(), Full()))])
     prog = make_prog([l1, l2])
     assert not loops_fusable(l1, l2, 4, prog)
+
+
+# ---------------------------------------------------------------------- #
+# rects_overlap edge cases: empty / point / full dim combinations
+# (the zero-extent invariant documented in the docstring)
+
+def test_rects_overlap_empty_dim_beats_point_dim():
+    """A clipped-empty Span dim next to a (c, c+1) Point dim: the empty
+    dim makes the whole footprint empty, so even identical point dims
+    must not report overlap."""
+    assert not rects_overlap(((5, 5), (3, 4)), ((5, 5), (3, 4)))
+    assert not rects_overlap(((5, 5), (3, 4)), ((0, 64), (3, 4)))
+
+
+def test_rects_overlap_empty_inside_enclosing_full():
+    """An empty dim does not overlap an enclosing full dim."""
+    assert not rects_overlap(((7, 7),), ((0, 64),))
+    assert not rects_overlap(((0, 64),), ((7, 7),))
+    assert not rects_overlap(((7, 7),), ((7, 7),))
+
+
+def test_rects_overlap_inverted_extent_is_empty():
+    """hi < lo (not just ==) also denotes empty, never a wrapped range."""
+    assert not rects_overlap(((8, 2),), ((0, 64),))
+
+
+def test_rects_overlap_point_point():
+    assert rects_overlap(((5, 6), (0, 16)), ((5, 6), (0, 16)))
+    assert not rects_overlap(((5, 6), (0, 16)), ((6, 7), (0, 16)))
+
+
+def test_rects_overlap_point_touching_full_and_span():
+    assert rects_overlap(((5, 6),), ((0, 64),))
+    assert rects_overlap(((5, 6),), ((5, 8),))
+    assert not rects_overlap(((4, 5),), ((5, 8),))
+
+
+def test_rects_overlap_trailing_dims_ignored():
+    """zip semantics: extra trailing dims on either side are ignored,
+    matching Access.resolve's implicit-full padding."""
+    assert rects_overlap(((0, 4),), ((2, 6), (0, 16)))
+    assert not rects_overlap(((0, 4),), ((4, 6), (9, 9)))
+
+
+def test_access_rect_emits_empty_dim_for_outside_halo():
+    """A halo entirely outside the array clips to an empty slice; the
+    rect must then overlap nothing (including itself)."""
+    acc = Access("a", (Span(-2, -2), Full()))
+    rect = access_rect(acc, 0, 2, (64, 16))
+    lo, hi = rect[0]
+    assert hi <= lo
+    assert not rects_overlap(rect, rect)
+
+
+# ---------------------------------------------------------------------- #
+# satellite: loops_fusable hoists per-processor rects (no O(p^2) rebuild)
+
+def test_loops_fusable_chunk_rects_call_count(monkeypatch):
+    """Each loop side's rects are computed once per processor: exactly
+    4 * nprocs chunk_rects calls, not O(nprocs**2)."""
+    from repro.compiler import analysis
+
+    l1 = ParallelLoop("l1", 64, kern,
+                      writes=[Access("a", (Span(), Full()))])
+    l2 = ParallelLoop("l2", 64, kern,
+                      reads=[Access("a", (Span(), Full()))],
+                      writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([l1, l2])
+    nprocs = 8
+    calls = {"n": 0}
+    real = analysis.chunk_rects
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(analysis, "chunk_rects", counting)
+    verdict = analysis.loops_fusable(l1, l2, nprocs, prog)
+    assert calls["n"] == 4 * nprocs
+    assert verdict  # disjoint block rows: fusable
+
+
+def test_loops_fusable_verdicts_unchanged_by_hoisting():
+    """Bit-identical verdicts vs the paper cases: shallow-style fusable
+    pair fuses, jacobi-style halo pair does not."""
+    fuse_a = ParallelLoop("fa", 64, kern,
+                          writes=[Access("a", (Span(), Full()))])
+    fuse_b = ParallelLoop("fb", 64, kern,
+                          reads=[Access("a", (Span(), Full()))],
+                          writes=[Access("b", (Span(), Full()))])
+    halo_b = ParallelLoop("hb", 64, kern,
+                          reads=[Access("a", (Span(-1, 1), Full()))],
+                          writes=[Access("b", (Span(), Full()))])
+    prog = make_prog([fuse_a, fuse_b, halo_b])
+    assert loops_fusable(fuse_a, fuse_b, 4, prog)
+    assert not loops_fusable(fuse_a, halo_b, 4, prog)
